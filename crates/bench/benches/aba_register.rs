@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E1/E7a: latency of `DWrite`/`DRead` on
+//! every ABA-detecting register implementation, swept over n.
+//!
+//! The reproducible shape: Figure 4, the tagged baseline and the Figure 5
+//! stacks over O(1) LL/SC stay flat as n grows; the Figure 5 stack over
+//! Figure 3 grows with n (its underlying LL is Θ(n) in the worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use aba_core::all_aba_registers;
+
+fn bench_register_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aba_register_dwrite_dread");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+
+    for n in [2usize, 8, 32] {
+        for reg in all_aba_registers(n) {
+            let id = BenchmarkId::new(reg.name().replace(' ', "_"), n);
+            group.bench_with_input(id, &n, |b, _| {
+                let mut writer = reg.handle(0);
+                let mut reader = reg.handle(1);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    writer.dwrite(i % 3);
+                    std::hint::black_box(reader.dread())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_register_ops);
+criterion_main!(benches);

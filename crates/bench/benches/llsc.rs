@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E2/E7b: latency of an `LL`/`SC`/`VL` round
+//! trip on every LL/SC implementation, swept over n.
+//!
+//! The reproducible shape: Moir (unbounded) and Announce (O(1)) are flat in
+//! n; Figure 3's uncontended path is also flat, but its worst case (exercised
+//! by the simulator adversary in `table_step_complexity`) grows with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use aba_core::all_llsc_objects;
+
+fn bench_llsc_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llsc_ll_sc_vl");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+
+    for n in [2usize, 8, 32] {
+        for obj in all_llsc_objects(n) {
+            let id = BenchmarkId::new(obj.name().replace(' ', "_"), n);
+            group.bench_with_input(id, &n, |b, _| {
+                let mut h = obj.handle(0);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    h.ll();
+                    std::hint::black_box(h.vl());
+                    std::hint::black_box(h.sc(i % 5))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_llsc_ops);
+criterion_main!(benches);

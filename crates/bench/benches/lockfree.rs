@@ -1,0 +1,35 @@
+//! Criterion bench for experiment E6/E7c: push+pop latency of the Treiber
+//! stack variants.
+//!
+//! The reproducible shape: the unprotected stack is the cheapest per
+//! operation (no protection work) but incorrect under concurrency; the three
+//! protected variants pay a small, comparable overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use aba_lockfree::all_stacks;
+
+fn bench_stack_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treiber_push_pop");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+
+    for stack in all_stacks(64, 2) {
+        group.bench_function(stack.name().replace(' ', "_"), |b| {
+            let mut h = stack.handle(0);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let _ = h.push(i);
+                std::hint::black_box(h.pop())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack_ops);
+criterion_main!(benches);

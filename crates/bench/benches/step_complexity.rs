@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E1/E2's simulator measurements: wall-clock
+//! cost of the adversarial worst-case step measurement itself, swept over n.
+//!
+//! This doubles as a regression guard for the simulator: the adversary's cost
+//! grows roughly linearly for Figure 3 (whose executions get longer with n)
+//! and stays near-flat for Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use aba_sim::algorithms::fig3::Fig3Sim;
+use aba_sim::algorithms::fig4::Fig4Sim;
+use aba_sim::{measure_llsc_worst_case, measure_register_worst_case};
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_adversary");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+
+    for n in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("figure3_ll_worst_case", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(measure_llsc_worst_case(&Fig3Sim::new(n), 0, 4)));
+        });
+        group.bench_with_input(BenchmarkId::new("figure4_dread_worst_case", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(measure_register_worst_case(&Fig4Sim::new(n), 1, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

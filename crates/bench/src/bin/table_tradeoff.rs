@@ -1,0 +1,59 @@
+//! Experiment E3: the time–space tradeoff table (Theorem 1 (b)/(c),
+//! Corollary 1).
+//!
+//! For every implementation: number of bounded base objects `m`, designed and
+//! observed worst-case step complexity `t`, the product `m·t` (or `2·m·t` for
+//! writable CAS) and whether it clears the `n − 1` bound.
+//!
+//! Run with `cargo run -p aba-bench --bin table_tradeoff --release`.
+
+use aba_bench::Table;
+use aba_lowerbound::{llsc_tradeoff_rows, register_tradeoff_rows, TradeoffRow};
+
+fn render(title: &str, rows: &[TradeoffRow]) {
+    let mut table = Table::new(
+        title,
+        &[
+            "implementation",
+            "n",
+            "base objects (m)",
+            "bounded",
+            "design t",
+            "observed t",
+            "product m·t",
+            "bound n-1",
+            "satisfies",
+            "measured by",
+        ],
+    );
+    for row in rows {
+        table.row(&[
+            row.name.clone(),
+            row.n.to_string(),
+            row.space.total_objects().to_string(),
+            row.space.bounded.to_string(),
+            row.design_worst_steps.to_string(),
+            row.observed_worst_steps.to_string(),
+            row.product().to_string(),
+            row.bound().to_string(),
+            row.satisfies_bound().to_string(),
+            row.source.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let ops = 2_000;
+    for n in [4usize, 8, 16, 32] {
+        render(
+            &format!("E3: ABA-detecting registers, n = {n}"),
+            &register_tradeoff_rows(n, ops),
+        );
+        render(
+            &format!("E3: LL/SC/VL objects, n = {n}"),
+            &llsc_tradeoff_rows(n, ops),
+        );
+    }
+    println!("Expected shape: every bounded implementation's product m·t clears n-1; Figure 4 / Figure 3 / Announce sit within a small constant factor of the bound (they are the optimal corners); the unbounded baselines are exempt.");
+}

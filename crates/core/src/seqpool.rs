@@ -1,0 +1,342 @@
+//! The bounded sequence-number recycling protocol (`GetSeq`) of Figure 4.
+//!
+//! Every writer (a `DWrite` in Figure 4, an `SC` attempt in the announce-based
+//! LL/SC) tags the triple it publishes with a sequence number drawn from the
+//! bounded domain `{0, …, 2n+1}`.  The recycling rule — the heart of
+//! Theorem 3 — is:
+//!
+//! > if at some point `X = (·, p, s)` and `A[q] = (p, s)`, then `p` does not
+//! > use sequence number `s` again until `A[q] ≠ (p, s)` (Claim 3).
+//!
+//! `GetSeq` achieves this with purely local state of size O(n):
+//!
+//! * a queue `usedQ` of the last `n+1` sequence numbers this process
+//!   *published* (so a number is only recycled after `n+1` further
+//!   publications, Claim 2);
+//! * a set `na` remembering, for each announce-array slot, the sequence
+//!   number of ours it was last seen announcing (populated by scanning one
+//!   slot per `GetSeq` call and cleared when the slot moves on);
+//! * a cursor `c` that round-robins over the announce array.
+//!
+//! The domain has `2n+2` values while at most `(n+1) + n = 2n+1` can be
+//! excluded, so a free number always exists.
+//!
+//! [`SeqRecycler`] factors this protocol out of the two algorithms that use
+//! it.  Figure 4 *commits* (enqueues into `usedQ`) every acquired number
+//! because every `DWrite` publishes; the announce-based LL/SC commits only
+//! when its CAS succeeds, because a failed `SC` publishes nothing (see the
+//! module documentation of [`crate::announce_llsc`] for why that preserves
+//! the recycling invariant).
+
+use std::collections::VecDeque;
+
+use crate::pack::{Pair, MAX_PROCESSES};
+
+/// Per-process state of the `GetSeq` protocol (Figure 4, lines 28–37).
+#[derive(Debug, Clone)]
+pub struct SeqRecycler {
+    n: usize,
+    pid: u16,
+    /// `usedQ[n+1]`: the last `n+1` sequence numbers published by this
+    /// process (`None` entries are the initial `⊥`s).
+    used: VecDeque<Option<u16>>,
+    /// `na`: for announce slot `j`, `Some(s)` if slot `j` was last seen
+    /// announcing `(self.pid, s)`.
+    na: Vec<Option<u16>>,
+    /// Round-robin cursor `c` over the announce array.
+    cursor: usize,
+}
+
+impl SeqRecycler {
+    /// Create the recycler for process `pid` in a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > MAX_PROCESSES`, or `pid >= n`.
+    pub fn new(n: usize, pid: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes");
+        assert!(pid < n, "pid {pid} out of range for n={n}");
+        SeqRecycler {
+            n,
+            pid: pid as u16,
+            used: VecDeque::from(vec![None; n + 1]),
+            na: vec![None; n],
+            cursor: 0,
+        }
+    }
+
+    /// Size of the sequence-number domain, `2n + 2`.
+    pub fn domain(&self) -> u16 {
+        (2 * self.n + 2) as u16
+    }
+
+    /// The announce-array slot this call will scan (the paper's `c`), and
+    /// advance the cursor.  The caller is responsible for actually reading
+    /// the announce register for this slot (that read is the one shared
+    /// memory step of `GetSeq`).
+    pub fn slot_to_scan(&mut self) -> usize {
+        let c = self.cursor;
+        self.cursor = (self.cursor + 1) % self.n;
+        c
+    }
+
+    /// Record what announce slot `slot` contained (Figure 4, lines 28–32):
+    /// if it announces one of *our* sequence numbers, remember it in `na`;
+    /// otherwise clear any stale memory for that slot.
+    pub fn observe(&mut self, slot: usize, announced: Pair) {
+        assert!(slot < self.n, "slot {slot} out of range");
+        if announced.pid == self.pid {
+            self.na[slot] = Some(announced.seq);
+        } else {
+            self.na[slot] = None;
+        }
+    }
+
+    /// Choose a sequence number outside `usedQ ∪ na` (Figure 4, line 34).
+    ///
+    /// Deterministically returns the smallest admissible number; the paper
+    /// allows an arbitrary choice.
+    pub fn choose(&self) -> u16 {
+        let domain = self.domain();
+        'candidate: for s in 0..domain {
+            if self.used.iter().any(|u| *u == Some(s)) {
+                continue 'candidate;
+            }
+            if self.na.iter().any(|a| *a == Some(s)) {
+                continue 'candidate;
+            }
+            return s;
+        }
+        unreachable!(
+            "domain of size {} cannot be exhausted by {} used + {} announced entries",
+            domain,
+            self.used.len(),
+            self.na.len()
+        )
+    }
+
+    /// Record that sequence number `s` has been published (Figure 4,
+    /// lines 35–36: enqueue and dequeue keep the window at `n+1`).
+    pub fn commit(&mut self, s: u16) {
+        self.used.push_back(Some(s));
+        self.used.pop_front();
+        debug_assert_eq!(self.used.len(), self.n + 1);
+    }
+
+    /// Convenience for Figure 4's `GetSeq`, which always commits: scan the
+    /// given announced pair for the slot returned by [`slot_to_scan`], choose
+    /// and commit.
+    ///
+    /// The caller supplies the announce content it read for the slot.
+    ///
+    /// [`slot_to_scan`]: SeqRecycler::slot_to_scan
+    pub fn get_seq(&mut self, slot: usize, announced: Pair) -> u16 {
+        self.observe(slot, announced);
+        let s = self.choose();
+        self.commit(s);
+        s
+    }
+
+    /// The sequence numbers currently excluded (for tests and the simulator's
+    /// invariant checks).
+    pub fn excluded(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self
+            .used
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.na.iter().flatten().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The process this recycler belongs to.
+    pub fn pid(&self) -> u16 {
+        self.pid
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::BOT_PID;
+
+    fn bot() -> Pair {
+        Pair {
+            pid: BOT_PID,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn choose_never_returns_used_or_announced() {
+        let mut r = SeqRecycler::new(3, 1);
+        // Announce slot 0 holds one of our numbers.
+        r.observe(0, Pair { pid: 1, seq: 5 });
+        r.commit(2);
+        r.commit(3);
+        let s = r.choose();
+        assert!(s != 5 && s != 2 && s != 3);
+        assert!(s < r.domain());
+    }
+
+    #[test]
+    fn committed_numbers_recycle_after_n_plus_one_commits() {
+        let n = 4;
+        let mut r = SeqRecycler::new(n, 0);
+        let slot = r.slot_to_scan();
+        let first = r.get_seq(slot, bot());
+        // The next n+1 commits keep `first` excluded (the window holds the
+        // last n+1 published numbers).
+        for _ in 0..=n {
+            let slot = r.slot_to_scan();
+            let s = r.get_seq(slot, bot());
+            assert_ne!(s, first, "number reused too early");
+        }
+        // Once n+1 further numbers have been published, it may come back
+        // (and, with the smallest-admissible policy and an empty announce
+        // array, it does).
+        let slot = r.slot_to_scan();
+        let s = r.get_seq(slot, bot());
+        assert_eq!(s, first);
+    }
+
+    #[test]
+    fn announced_number_is_never_chosen_while_announced() {
+        let n = 4;
+        let mut r = SeqRecycler::new(n, 2);
+        // Slot 3 announces our sequence number 0 and never changes.
+        for round in 0..50 {
+            let slot = r.slot_to_scan();
+            let announced = if slot == 3 {
+                Pair { pid: 2, seq: 0 }
+            } else {
+                bot()
+            };
+            let s = r.get_seq(slot, announced);
+            if round >= n {
+                // After one full scan the announcement has certainly been seen.
+                assert_ne!(s, 0, "announced number must not be reused (round {round})");
+            }
+        }
+    }
+
+    #[test]
+    fn announcement_release_allows_reuse() {
+        let n = 3;
+        let mut r = SeqRecycler::new(n, 0);
+        // See our own announcement in slot 1, then see it replaced.
+        r.observe(1, Pair { pid: 0, seq: 7 });
+        assert!(r.excluded().contains(&7));
+        r.observe(1, Pair { pid: 1, seq: 7 });
+        assert!(!r.excluded().contains(&7));
+    }
+
+    #[test]
+    fn other_processes_announcements_do_not_exclude() {
+        let mut r = SeqRecycler::new(3, 0);
+        r.observe(0, Pair { pid: 2, seq: 4 });
+        assert!(r.excluded().is_empty());
+    }
+
+    #[test]
+    fn cursor_round_robins_over_all_slots() {
+        let n = 5;
+        let mut r = SeqRecycler::new(n, 0);
+        let slots: Vec<usize> = (0..2 * n).map(|_| r.slot_to_scan()).collect();
+        for i in 0..n {
+            assert_eq!(slots[i], i);
+            assert_eq!(slots[n + i], i);
+        }
+    }
+
+    #[test]
+    fn domain_is_2n_plus_2() {
+        assert_eq!(SeqRecycler::new(1, 0).domain(), 4);
+        assert_eq!(SeqRecycler::new(7, 3).domain(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_pid() {
+        let _ = SeqRecycler::new(2, 2);
+    }
+
+    #[test]
+    fn single_process_system_works() {
+        let mut r = SeqRecycler::new(1, 0);
+        for _ in 0..10 {
+            let slot = r.slot_to_scan();
+            let s = r.get_seq(slot, bot());
+            assert!(s < 4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::pack::BOT_PID;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The protocol-level invariant: choose() never returns a number that
+        /// is in the used window or currently believed announced, regardless
+        /// of the observation pattern.
+        #[test]
+        fn choose_respects_exclusions(
+            n in 1usize..8,
+            observations in proptest::collection::vec((0usize..8, any::<bool>(), 0u16..18), 0..200),
+        ) {
+            let mut r = SeqRecycler::new(n, 0);
+            for (slot_raw, ours, seq) in observations {
+                let slot = slot_raw % n;
+                let pair = Pair { pid: if ours { 0 } else { BOT_PID }, seq };
+                r.observe(slot, pair);
+                let s = r.choose();
+                prop_assert!(!r.excluded().contains(&s));
+                prop_assert!(s < r.domain());
+                r.commit(s);
+            }
+        }
+
+        /// A number published while some slot continuously announces it is
+        /// never published again before the announcement changes, provided at
+        /// least n publications have happened since the announcement was
+        /// observed-able (the full-scan property).
+        #[test]
+        fn no_reuse_while_continuously_announced(
+            n in 2usize..7,
+            rounds in 10usize..60,
+            target_slot in 0usize..7,
+        ) {
+            let target_slot = target_slot % n;
+            let mut r = SeqRecycler::new(n, 0);
+            // First publication: remember it, announce it in target_slot forever.
+            let slot = r.slot_to_scan();
+            let pinned = r.get_seq(slot, Pair { pid: BOT_PID, seq: 0 });
+            let mut seen_since_pin = 0usize;
+            for _ in 0..rounds {
+                let slot = r.slot_to_scan();
+                let announced = if slot == target_slot {
+                    Pair { pid: 0, seq: pinned }
+                } else {
+                    Pair { pid: BOT_PID, seq: 0 }
+                };
+                if slot == target_slot { seen_since_pin += 1; }
+                let s = r.get_seq(slot, announced);
+                if seen_since_pin > 0 {
+                    prop_assert_ne!(s, pinned);
+                }
+            }
+        }
+    }
+}

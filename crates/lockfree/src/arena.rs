@@ -1,0 +1,185 @@
+//! A preallocated node arena with index-based links.
+//!
+//! The lock-free structures in this crate identify nodes by *arena index*
+//! rather than by raw pointer.  This keeps the whole repository free of
+//! `unsafe` while preserving the phenomenon under study: recycling an index
+//! through the free list and pushing it again is exactly the "pointer comes
+//! back with the same bits" situation that makes a naive CAS-based stack
+//! unsafe (the paper's §1 motivation and [19, 20, 23, 24, 31]).
+//!
+//! Every node carries a *generation* counter that is bumped on every
+//! allocation; the unprotected stack uses it to count, after the fact, how
+//! many of its successful CASes actually acted on a recycled node (an "ABA
+//! event").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Index value meaning "null".
+pub const NIL: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Node {
+    value: AtomicU64,
+    next: AtomicU64,
+    generation: AtomicU64,
+}
+
+/// A fixed-capacity arena of nodes with an internal free list.
+///
+/// The free list itself is a mutex-protected vector: it is harness
+/// infrastructure, not the structure under test, and keeping it trivially
+/// correct means every anomaly observed in the experiments is attributable to
+/// the stack's head-pointer CAS.
+#[derive(Debug)]
+pub struct NodeArena {
+    nodes: Vec<Node>,
+    free: Mutex<Vec<u64>>,
+}
+
+impl NodeArena {
+    /// An arena with `capacity` nodes, all initially free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let nodes = (0..capacity)
+            .map(|_| Node {
+                value: AtomicU64::new(0),
+                next: AtomicU64::new(NIL),
+                generation: AtomicU64::new(0),
+            })
+            .collect();
+        // LIFO free list: the most recently freed index is handed out first,
+        // which maximises recycling pressure (and therefore ABA likelihood).
+        let free = (0..capacity as u64).rev().collect();
+        NodeArena {
+            nodes,
+            free: Mutex::new(free),
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_len(&self) -> usize {
+        self.free.lock().expect("arena lock poisoned").len()
+    }
+
+    /// Allocate a node, bumping its generation.  Returns `None` when the
+    /// arena is exhausted.
+    pub fn alloc(&self) -> Option<u64> {
+        let idx = self.free.lock().expect("arena lock poisoned").pop()?;
+        self.nodes[idx as usize]
+            .generation
+            .fetch_add(1, Ordering::SeqCst);
+        Some(idx)
+    }
+
+    /// Return a node to the free list.
+    ///
+    /// The broken (unprotected) stack may double-free a node after an ABA; to
+    /// keep the experiment observable rather than panicking, double frees are
+    /// tolerated (the duplicate entry shows up as value duplication in the
+    /// conservation check).
+    pub fn free(&self, idx: u64) {
+        assert!(idx != NIL && (idx as usize) < self.nodes.len(), "bad index");
+        self.free.lock().expect("arena lock poisoned").push(idx);
+    }
+
+    /// Read the value stored in a node.
+    pub fn value(&self, idx: u64) -> u32 {
+        self.nodes[idx as usize].value.load(Ordering::SeqCst) as u32
+    }
+
+    /// Store a value into a node.
+    pub fn set_value(&self, idx: u64, value: u32) {
+        self.nodes[idx as usize]
+            .value
+            .store(value as u64, Ordering::SeqCst);
+    }
+
+    /// Read a node's next link.
+    pub fn next(&self, idx: u64) -> u64 {
+        self.nodes[idx as usize].next.load(Ordering::SeqCst)
+    }
+
+    /// Store a node's next link.
+    pub fn set_next(&self, idx: u64, next: u64) {
+        self.nodes[idx as usize].next.store(next, Ordering::SeqCst);
+    }
+
+    /// Read a node's generation counter.
+    pub fn generation(&self, idx: u64) -> u64 {
+        self.nodes[idx as usize].generation.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let arena = NodeArena::new(2);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        assert_ne!(a, b);
+        assert!(arena.alloc().is_none());
+        arena.free(a);
+        assert_eq!(arena.alloc(), Some(a));
+    }
+
+    #[test]
+    fn generation_bumps_on_every_alloc() {
+        let arena = NodeArena::new(1);
+        let idx = arena.alloc().unwrap();
+        let g1 = arena.generation(idx);
+        arena.free(idx);
+        let idx2 = arena.alloc().unwrap();
+        assert_eq!(idx, idx2);
+        assert_eq!(arena.generation(idx2), g1 + 1);
+    }
+
+    #[test]
+    fn value_and_next_storage() {
+        let arena = NodeArena::new(3);
+        let idx = arena.alloc().unwrap();
+        arena.set_value(idx, 77);
+        arena.set_next(idx, NIL);
+        assert_eq!(arena.value(idx), 77);
+        assert_eq!(arena.next(idx), NIL);
+        arena.set_next(idx, 2);
+        assert_eq!(arena.next(idx), 2);
+    }
+
+    #[test]
+    fn lifo_reuse_maximises_recycling() {
+        let arena = NodeArena::new(4);
+        let a = arena.alloc().unwrap();
+        arena.free(a);
+        // The same index comes straight back.
+        assert_eq!(arena.alloc(), Some(a));
+    }
+
+    #[test]
+    fn free_len_tracks_allocation() {
+        let arena = NodeArena::new(5);
+        assert_eq!(arena.free_len(), 5);
+        let _ = arena.alloc();
+        let _ = arena.alloc();
+        assert_eq!(arena.free_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad index")]
+    fn freeing_nil_panics() {
+        let arena = NodeArena::new(1);
+        arena.free(NIL);
+    }
+}

@@ -1,0 +1,55 @@
+//! # aba-lockfree
+//!
+//! ABA-motivated workloads for the reproduction: the data structures and
+//! usage patterns the paper's introduction cites as the reason ABA detection
+//! and prevention matter.
+//!
+//! * [`stack`] — Treiber stacks over a node arena with four head-pointer
+//!   strategies (unprotected, tagged, hazard pointers, LL/SC), experiment E6;
+//! * [`stress`] — the multi-threaded stress harness and value-conservation
+//!   check that quantifies ABA damage;
+//! * [`event`] — the busy-wait / reset event-signalling scenario from §1,
+//!   built on ABA-detecting registers;
+//! * [`arena`] — the index-based node arena the stacks share (no `unsafe`
+//!   anywhere in the repository).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arena;
+pub mod event;
+pub mod stack;
+pub mod stress;
+
+pub use arena::{NodeArena, NIL};
+pub use event::{EventSignal, NaiveEventSignal, Signaler, Waiter};
+pub use stack::{HazardStack, LlScStack, Stack, StackHandle, TaggedStack, UnprotectedStack};
+pub use stress::{stress_stack, StressReport};
+
+/// The standard roster of stack variants for experiment E6, sized for
+/// `threads` threads with an arena of `capacity` nodes.
+pub fn all_stacks(capacity: usize, threads: usize) -> Vec<Box<dyn Stack>> {
+    vec![
+        Box::new(UnprotectedStack::new(capacity)),
+        Box::new(TaggedStack::new(capacity)),
+        Box::new(HazardStack::new(capacity, threads)),
+        Box::new(LlScStack::new(capacity, threads)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_contains_all_four_variants() {
+        let stacks = all_stacks(8, 2);
+        assert_eq!(stacks.len(), 4);
+        for stack in &stacks {
+            let mut h = stack.handle(0);
+            assert!(h.push(1));
+            assert_eq!(h.pop(), Some(1));
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! Treiber stacks with pluggable ABA protection (experiment E6).
+//!
+//! All four variants share the same [`NodeArena`] and the same push/pop
+//! structure; they differ only in how the head pointer is manipulated —
+//! which is precisely the design decision the paper is about:
+//!
+//! | Variant | Head representation | ABA handling | Expected outcome |
+//! |---------|--------------------|--------------|------------------|
+//! | [`UnprotectedStack`] | bare index, nodes recycled immediately | none | ABA events, lost/duplicated values |
+//! | [`TaggedStack`] | (index, tag) packed in one CAS word | unbounded tag (§1 tagging) | correct |
+//! | [`HazardStack`] | bare index + hazard pointers | reclamation deferral [20,21] | correct |
+//! | [`LlScStack`] | head is an LL/SC/VL object ([`AnnounceLlSc`]) | LL/SC semantics (Theorem 2 context) | correct |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aba_core::AnnounceLlSc;
+use aba_hazard::HazardDomain;
+
+use crate::arena::{NodeArena, NIL};
+
+/// A bounded, concurrent LIFO with per-thread handles.
+pub trait Stack: Send + Sync {
+    /// Maximum number of elements (arena capacity).
+    fn capacity(&self) -> usize;
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+    /// Number of ABA events detected so far (always 0 for the protected
+    /// variants).
+    fn aba_events(&self) -> u64;
+    /// Obtain the per-thread handle for `tid`.
+    fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_>;
+}
+
+/// Per-thread handle of a [`Stack`].
+pub trait StackHandle: Send {
+    /// Push a value; returns `false` if the arena is exhausted.
+    fn push(&mut self, value: u32) -> bool;
+    /// Pop a value, if any.
+    fn pop(&mut self) -> Option<u32>;
+}
+
+/// The window between reading a node's `next` link and the head CAS is where
+/// the ABA happens in practice (a preempted thread resumes and CASes against
+/// a recycled node).  Every variant yields here, uniformly, so that the
+/// comparison in experiment E6 measures the protection strategy and not the
+/// accident of scheduling.
+#[inline]
+fn preemption_window() {
+    std::thread::yield_now();
+}
+
+// ---------------------------------------------------------------------------
+// Unprotected: the ABA-prone strawman.
+// ---------------------------------------------------------------------------
+
+/// Treiber stack with a bare-index head and immediate node recycling — the
+/// textbook ABA victim.
+#[derive(Debug)]
+pub struct UnprotectedStack {
+    arena: NodeArena,
+    head: AtomicU64,
+    aba_events: AtomicU64,
+}
+
+impl UnprotectedStack {
+    /// A stack backed by `capacity` nodes.
+    pub fn new(capacity: usize) -> Self {
+        UnprotectedStack {
+            arena: NodeArena::new(capacity),
+            head: AtomicU64::new(NIL),
+            aba_events: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Stack for UnprotectedStack {
+    fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "Treiber (unprotected)"
+    }
+
+    fn aba_events(&self) -> u64 {
+        self.aba_events.load(Ordering::SeqCst)
+    }
+
+    fn handle(&self, _tid: usize) -> Box<dyn StackHandle + '_> {
+        Box::new(UnprotectedHandle { stack: self })
+    }
+}
+
+#[derive(Debug)]
+struct UnprotectedHandle<'a> {
+    stack: &'a UnprotectedStack,
+}
+
+impl StackHandle for UnprotectedHandle<'_> {
+    fn push(&mut self, value: u32) -> bool {
+        let arena = &self.stack.arena;
+        let Some(idx) = arena.alloc() else {
+            return false;
+        };
+        arena.set_value(idx, value);
+        loop {
+            let head = self.stack.head.load(Ordering::SeqCst);
+            arena.set_next(idx, head);
+            if self
+                .stack
+                .head
+                .compare_exchange(head, idx, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let arena = &self.stack.arena;
+        loop {
+            let head = self.stack.head.load(Ordering::SeqCst);
+            if head == NIL {
+                return None;
+            }
+            // Remember the node's identity (generation) at read time …
+            let generation = arena.generation(head);
+            let next = arena.next(head);
+            preemption_window();
+            if self
+                .stack
+                .head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // … and detect, post hoc, that the CAS succeeded on a node
+                // that was recycled in between: a classic ABA.  The `next` we
+                // installed may be stale, so the structure may already be
+                // corrupted at this point — that is the experiment.
+                if arena.generation(head) != generation {
+                    self.stack.aba_events.fetch_add(1, Ordering::SeqCst);
+                }
+                let value = arena.value(head);
+                arena.free(head);
+                return Some(value);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tagged: the §1 tagging technique (unbounded tag next to the index).
+// ---------------------------------------------------------------------------
+
+/// Treiber stack whose head packs `(index, tag)` into one CAS word; the tag
+/// is incremented by every successful head CAS.
+#[derive(Debug)]
+pub struct TaggedStack {
+    arena: NodeArena,
+    /// Low 32 bits: index (`0xFFFF_FFFF` = nil); high 32 bits: tag.
+    head: AtomicU64,
+}
+
+const TAG_NIL: u32 = u32::MAX;
+
+fn pack_head(idx: u32, tag: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+fn unpack_head(raw: u64) -> (u32, u32) {
+    ((raw & 0xFFFF_FFFF) as u32, (raw >> 32) as u32)
+}
+
+impl TaggedStack {
+    /// A stack backed by `capacity` nodes.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity < TAG_NIL as usize, "capacity too large");
+        TaggedStack {
+            arena: NodeArena::new(capacity),
+            head: AtomicU64::new(pack_head(TAG_NIL, 0)),
+        }
+    }
+}
+
+impl Stack for TaggedStack {
+    fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "Treiber (tagged head)"
+    }
+
+    fn aba_events(&self) -> u64 {
+        0
+    }
+
+    fn handle(&self, _tid: usize) -> Box<dyn StackHandle + '_> {
+        Box::new(TaggedHandle { stack: self })
+    }
+}
+
+#[derive(Debug)]
+struct TaggedHandle<'a> {
+    stack: &'a TaggedStack,
+}
+
+impl StackHandle for TaggedHandle<'_> {
+    fn push(&mut self, value: u32) -> bool {
+        let arena = &self.stack.arena;
+        let Some(idx) = arena.alloc() else {
+            return false;
+        };
+        arena.set_value(idx, value);
+        loop {
+            let raw = self.stack.head.load(Ordering::SeqCst);
+            let (head_idx, tag) = unpack_head(raw);
+            arena.set_next(
+                idx,
+                if head_idx == TAG_NIL {
+                    NIL
+                } else {
+                    head_idx as u64
+                },
+            );
+            let new = pack_head(idx as u32, tag.wrapping_add(1));
+            if self
+                .stack
+                .head
+                .compare_exchange(raw, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let arena = &self.stack.arena;
+        loop {
+            let raw = self.stack.head.load(Ordering::SeqCst);
+            let (head_idx, tag) = unpack_head(raw);
+            if head_idx == TAG_NIL {
+                return None;
+            }
+            let next = arena.next(head_idx as u64);
+            let next_idx = if next == NIL { TAG_NIL } else { next as u32 };
+            preemption_window();
+            let new = pack_head(next_idx, tag.wrapping_add(1));
+            if self
+                .stack
+                .head
+                .compare_exchange(raw, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let value = arena.value(head_idx as u64);
+                arena.free(head_idx as u64);
+                return Some(value);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hazard pointers: reclamation-based prevention.
+// ---------------------------------------------------------------------------
+
+/// Treiber stack with a bare-index head protected by hazard pointers: a
+/// popped node is retired and only recycled when no thread protects it.
+#[derive(Debug)]
+pub struct HazardStack {
+    arena: NodeArena,
+    head: AtomicU64,
+    domain: HazardDomain,
+}
+
+impl HazardStack {
+    /// A stack backed by `capacity` nodes, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        HazardStack {
+            arena: NodeArena::new(capacity),
+            head: AtomicU64::new(NIL),
+            domain: HazardDomain::new(threads),
+        }
+    }
+}
+
+impl Stack for HazardStack {
+    fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "Treiber (hazard pointers)"
+    }
+
+    fn aba_events(&self) -> u64 {
+        0
+    }
+
+    fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
+        Box::new(HazardStackHandle {
+            stack: self,
+            hazard: self.domain.handle(tid),
+        })
+    }
+}
+
+struct HazardStackHandle<'a> {
+    stack: &'a HazardStack,
+    hazard: aba_hazard::HazardHandle<'a>,
+}
+
+impl std::fmt::Debug for HazardStackHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HazardStackHandle").finish_non_exhaustive()
+    }
+}
+
+impl StackHandle for HazardStackHandle<'_> {
+    fn push(&mut self, value: u32) -> bool {
+        let arena = &self.stack.arena;
+        let idx = match arena.alloc() {
+            Some(idx) => idx,
+            None => {
+                // The arena may be exhausted only because this handle still
+                // holds retired-but-unprotected nodes; reclaim and retry once.
+                self.hazard.flush(|i| arena.free(i));
+                match arena.alloc() {
+                    Some(idx) => idx,
+                    None => return false,
+                }
+            }
+        };
+        arena.set_value(idx, value);
+        loop {
+            let head = self.stack.head.load(Ordering::SeqCst);
+            arena.set_next(idx, head);
+            if self
+                .stack
+                .head
+                .compare_exchange(head, idx, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let arena = &self.stack.arena;
+        loop {
+            let head = self.stack.head.load(Ordering::SeqCst);
+            if head == NIL {
+                self.hazard.clear();
+                return None;
+            }
+            // Protect, then re-validate that the head did not move before we
+            // published the hazard (the standard protocol).
+            self.hazard.protect(head);
+            if self.stack.head.load(Ordering::SeqCst) != head {
+                continue;
+            }
+            let next = arena.next(head);
+            preemption_window();
+            if self
+                .stack
+                .head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let value = arena.value(head);
+                self.hazard.clear();
+                // Retire instead of freeing: the node returns to the arena
+                // only when nobody protects it.  Small arenas need eager
+                // reclamation, so flush whenever the retired list holds a
+                // meaningful share of the arena.
+                self.hazard.retire(head, |idx| arena.free(idx));
+                if self.hazard.retired_len() * 4 >= arena.capacity() {
+                    self.hazard.flush(|idx| arena.free(idx));
+                }
+                return Some(value);
+            }
+            self.hazard.clear();
+        }
+    }
+}
+
+impl Drop for HazardStackHandle<'_> {
+    fn drop(&mut self) {
+        let arena = &self.stack.arena;
+        self.hazard.clear();
+        self.hazard.flush(|idx| arena.free(idx));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LL/SC head: the paper's primitive as the fix.
+// ---------------------------------------------------------------------------
+
+/// Treiber stack whose head is an LL/SC/VL object ([`AnnounceLlSc`]): the SC
+/// fails whenever any successful SC intervened, so a recycled index can never
+/// be confused with its previous incarnation.
+#[derive(Debug)]
+pub struct LlScStack {
+    arena: NodeArena,
+    head: AnnounceLlSc,
+}
+
+/// `u32::MAX` marks the empty stack in the LL/SC head.
+const LLSC_NIL: u32 = u32::MAX;
+
+impl LlScStack {
+    /// A stack backed by `capacity` nodes, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        assert!(capacity < LLSC_NIL as usize, "capacity too large");
+        LlScStack {
+            arena: NodeArena::new(capacity),
+            head: AnnounceLlSc::with_initial(threads, LLSC_NIL),
+        }
+    }
+}
+
+impl Stack for LlScStack {
+    fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "Treiber (LL/SC head)"
+    }
+
+    fn aba_events(&self) -> u64 {
+        0
+    }
+
+    fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
+        Box::new(LlScStackHandle {
+            stack: self,
+            head: self.stack_head_handle(tid),
+        })
+    }
+}
+
+impl LlScStack {
+    fn stack_head_handle(&self, tid: usize) -> aba_core::AnnounceLlScHandle<'_> {
+        self.head.handle(tid)
+    }
+}
+
+#[derive(Debug)]
+struct LlScStackHandle<'a> {
+    stack: &'a LlScStack,
+    head: aba_core::AnnounceLlScHandle<'a>,
+}
+
+impl StackHandle for LlScStackHandle<'_> {
+    fn push(&mut self, value: u32) -> bool {
+        let arena = &self.stack.arena;
+        let Some(idx) = arena.alloc() else {
+            return false;
+        };
+        arena.set_value(idx, value);
+        loop {
+            let head = self.head.ll();
+            arena.set_next(idx, if head == LLSC_NIL { NIL } else { head as u64 });
+            if self.head.sc(idx as u32) {
+                return true;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        let arena = &self.stack.arena;
+        loop {
+            let head = self.head.ll();
+            if head == LLSC_NIL {
+                return None;
+            }
+            let next = arena.next(head as u64);
+            let next_word = if next == NIL { LLSC_NIL } else { next as u32 };
+            preemption_window();
+            if self.head.sc(next_word) {
+                let value = arena.value(head as u64);
+                arena.free(head as u64);
+                return Some(value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lifo_smoke(stack: &dyn Stack) {
+        let mut h = stack.handle(0);
+        assert!(h.push(1));
+        assert!(h.push(2));
+        assert!(h.push(3));
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), Some(2));
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn all_variants_are_lifo_sequentially() {
+        lifo_smoke(&UnprotectedStack::new(8));
+        lifo_smoke(&TaggedStack::new(8));
+        lifo_smoke(&HazardStack::new(8, 2));
+        lifo_smoke(&LlScStack::new(8, 2));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let stack = TaggedStack::new(2);
+        let mut h = stack.handle(0);
+        assert!(h.push(1));
+        assert!(h.push(2));
+        assert!(!h.push(3));
+        assert_eq!(h.pop(), Some(2));
+        assert!(h.push(3));
+    }
+
+    #[test]
+    fn recycled_nodes_keep_values_straight_in_protected_variants() {
+        for stack in [
+            Box::new(TaggedStack::new(4)) as Box<dyn Stack>,
+            Box::new(HazardStack::new(4, 1)),
+            Box::new(LlScStack::new(4, 1)),
+        ] {
+            let mut h = stack.handle(0);
+            for round in 0..100u32 {
+                assert!(h.push(round));
+                assert!(h.push(round + 1000));
+                assert_eq!(h.pop(), Some(round + 1000));
+                assert_eq!(h.pop(), Some(round));
+            }
+            assert_eq!(stack.aba_events(), 0);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            UnprotectedStack::new(1).name(),
+            TaggedStack::new(1).name(),
+            HazardStack::new(1, 1).name(),
+            LlScStack::new(1, 1).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn hazard_stack_returns_nodes_to_arena_on_handle_drop() {
+        let stack = HazardStack::new(4, 2);
+        {
+            let mut h = stack.handle(0);
+            for i in 0..4 {
+                assert!(h.push(i));
+            }
+            for _ in 0..4 {
+                assert!(h.pop().is_some());
+            }
+        }
+        // After the handle (and its retired list) is dropped, all nodes are
+        // free again.
+        let mut h = stack.handle(1);
+        for i in 0..4 {
+            assert!(h.push(i), "node {i} was not reclaimed");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Multi-threaded stress harness and conservation checking for the stacks
+//! (experiment E6).
+//!
+//! Each thread pushes a disjoint set of values and pops whatever it finds.
+//! Afterwards the values that were popped plus the values still in the stack
+//! must be exactly the values that were pushed — any *lost* or *duplicated*
+//! value is structural corruption caused by an ABA on the head pointer.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::stack::Stack;
+
+/// Result of one stress run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StressReport {
+    /// Stack variant name.
+    pub stack: String,
+    /// Number of threads.
+    pub threads: usize,
+    /// Push attempts per thread.
+    pub ops_per_thread: usize,
+    /// Values successfully pushed.
+    pub pushed: u64,
+    /// Values popped.
+    pub popped: u64,
+    /// Values drained from the stack afterwards.
+    pub remaining: u64,
+    /// ABA events the stack itself detected (only the unprotected variant
+    /// reports these).
+    pub aba_events: u64,
+    /// Values that were pushed but never seen again.
+    pub lost: u64,
+    /// Values that were seen more often than they were pushed.
+    pub duplicated: u64,
+}
+
+impl StressReport {
+    /// `true` iff every pushed value was seen exactly once afterwards.
+    pub fn is_conserved(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0
+    }
+}
+
+/// Run `threads` threads, each performing `ops_per_thread` push/pop rounds of
+/// unique values, then drain the stack and check conservation.
+pub fn stress_stack(stack: &dyn Stack, threads: usize, ops_per_thread: usize) -> StressReport {
+    assert!(threads > 0, "need at least one thread");
+    let observed: Mutex<HashMap<u32, i64>> = Mutex::new(HashMap::new());
+    let pushed: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let observed = &observed;
+            let pushed = &pushed;
+            s.spawn(move || {
+                let mut handle = stack.handle(tid);
+                let mut my_pushed = Vec::new();
+                let mut my_popped = Vec::new();
+                for i in 0..ops_per_thread {
+                    let value = (tid * ops_per_thread + i) as u32 + 1;
+                    if handle.push(value) {
+                        my_pushed.push(value);
+                    }
+                    // Pop with 50% duty cycle to keep the stack short and the
+                    // free list hot (recycling pressure).
+                    if i % 2 == 0 {
+                        if let Some(v) = handle.pop() {
+                            my_popped.push(v);
+                        }
+                    }
+                }
+                pushed.lock().unwrap().extend(my_pushed);
+                let mut obs = observed.lock().unwrap();
+                for v in my_popped {
+                    *obs.entry(v).or_insert(0) += 1;
+                }
+            });
+        }
+    });
+
+    let mut popped_total = 0u64;
+    {
+        let obs = observed.lock().unwrap();
+        for count in obs.values() {
+            popped_total += *count as u64;
+        }
+    }
+
+    // Drain what is left.
+    let mut remaining = 0u64;
+    {
+        let mut handle = stack.handle(0);
+        let mut obs = observed.lock().unwrap();
+        let mut drained = 0usize;
+        // A corrupted stack can contain a cycle; bound the drain.
+        let limit = stack.capacity() * 4 + 16;
+        while let Some(v) = handle.pop() {
+            *obs.entry(v).or_insert(0) += 1;
+            remaining += 1;
+            drained += 1;
+            if drained > limit {
+                break;
+            }
+        }
+    }
+
+    let pushed_values = pushed.into_inner().unwrap();
+    let mut expected: HashMap<u32, i64> = HashMap::new();
+    for v in &pushed_values {
+        *expected.entry(*v).or_insert(0) += 1;
+    }
+    let observed = observed.into_inner().unwrap();
+
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    for (value, want) in &expected {
+        let got = observed.get(value).copied().unwrap_or(0);
+        if got < *want {
+            lost += (*want - got) as u64;
+        }
+    }
+    for (value, got) in &observed {
+        let want = expected.get(value).copied().unwrap_or(0);
+        if *got > want {
+            duplicated += (*got - want) as u64;
+        }
+    }
+
+    StressReport {
+        stack: stack.name().to_string(),
+        threads,
+        ops_per_thread,
+        pushed: pushed_values.len() as u64,
+        popped: popped_total,
+        remaining,
+        aba_events: stack.aba_events(),
+        lost,
+        duplicated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{HazardStack, LlScStack, TaggedStack, UnprotectedStack};
+
+    const THREADS: usize = 4;
+    const OPS: usize = 3_000;
+    const CAPACITY: usize = 8; // small arena => aggressive recycling
+
+    #[test]
+    fn tagged_stack_conserves_values() {
+        let stack = TaggedStack::new(CAPACITY + THREADS * 2);
+        let report = stress_stack(&stack, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn hazard_stack_conserves_values() {
+        let stack = HazardStack::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_stack(&stack, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn llsc_stack_conserves_values() {
+        let stack = LlScStack::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_stack(&stack, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn unprotected_stack_exhibits_aba_under_pressure() {
+        // The ABA is a race, so retry a few rounds; with a tiny arena and
+        // thousands of operations it shows up essentially immediately on any
+        // multi-core machine.
+        let mut total_events = 0u64;
+        let mut total_anomalies = 0u64;
+        for _ in 0..8 {
+            let stack = UnprotectedStack::new(CAPACITY);
+            let report = stress_stack(&stack, THREADS, OPS);
+            total_events += report.aba_events;
+            total_anomalies += report.lost + report.duplicated;
+            if total_events > 0 {
+                break;
+            }
+        }
+        assert!(
+            total_events > 0 || total_anomalies > 0,
+            "expected at least one ABA event or conservation anomaly"
+        );
+    }
+
+    #[test]
+    fn single_threaded_stress_is_always_clean_even_unprotected() {
+        let stack = UnprotectedStack::new(CAPACITY);
+        let report = stress_stack(&stack, 1, 2_000);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+}

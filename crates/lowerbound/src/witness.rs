@@ -1,0 +1,143 @@
+//! Violation witnesses for under-provisioned implementations.
+//!
+//! Theorem 1 (a) says a correct (even just obstruction-free) single-writer
+//! 1-bit ABA-detecting register needs at least `n-1` bounded registers.  The
+//! contrapositive is observable: take an implementation with fewer resources
+//! than Figure 4 uses and an adversarial schedule makes it return a wrong
+//! answer.  This module packages that observation (experiment E5):
+//!
+//! * the faithful Figure 4 and the unbounded tagged baseline *survive* the
+//!   random-schedule search;
+//! * the naive single-register strawman, Figure 4 with shared announce slots,
+//!   and Figure 4 with a collapsed sequence domain all *fail*, and the
+//!   search returns the schedule, the history and the specific read that
+//!   missed a write.
+
+use aba_sim::algorithms::baselines::{NaiveSim, TaggedSim};
+use aba_sim::algorithms::fig4::Fig4Sim;
+use aba_sim::{search_weak_violation, SimAlgorithm, ViolationWitness};
+
+/// Outcome of the witness search for one implementation.
+#[derive(Debug, Clone)]
+pub enum WitnessOutcome {
+    /// No definite violation found within the trial budget.
+    Survived {
+        /// Number of random schedules tried.
+        trials: u64,
+    },
+    /// A definite violation was found.
+    Violated {
+        /// The witness (schedule, seed, history, violation).
+        witness: Box<ViolationWitness>,
+    },
+}
+
+impl WitnessOutcome {
+    /// `true` iff a violation was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, WitnessOutcome::Violated { .. })
+    }
+}
+
+/// The witness-search report for one implementation.
+#[derive(Debug, Clone)]
+pub struct WitnessReport {
+    /// Implementation name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Number of base objects the implementation uses.
+    pub base_objects: usize,
+    /// Whether the implementation is expected to be correct (used by the
+    /// experiment table to label expected vs. surprising outcomes).
+    pub expected_correct: bool,
+    /// The search outcome.
+    pub outcome: WitnessOutcome,
+}
+
+impl WitnessReport {
+    /// `true` iff the observed outcome matches the expectation (correct
+    /// implementations survive, under-provisioned ones are violated).
+    pub fn matches_expectation(&self) -> bool {
+        self.expected_correct != self.outcome.is_violated()
+    }
+}
+
+fn search(
+    algo: &dyn SimAlgorithm,
+    expected_correct: bool,
+    trials: u64,
+    seed: u64,
+) -> WitnessReport {
+    let outcome = match search_weak_violation(algo, trials, seed) {
+        Some(witness) => WitnessOutcome::Violated {
+            witness: Box::new(witness),
+        },
+        None => WitnessOutcome::Survived { trials },
+    };
+    WitnessReport {
+        algorithm: algo.name().to_string(),
+        n: algo.n(),
+        base_objects: algo.initial_objects().len(),
+        expected_correct,
+        outcome,
+    }
+}
+
+/// Run the witness search over the standard roster of implementations:
+/// Figure 4 (faithful), the unbounded tagged baseline, the naive
+/// single-register strawman, Figure 4 with only two (shared) announce slots,
+/// and Figure 4 with a collapsed sequence-number domain.
+pub fn witness_report(n: usize, trials: u64, seed: u64) -> Vec<WitnessReport> {
+    assert!(n >= 3, "the crippled variants need at least 3 processes");
+    vec![
+        search(&Fig4Sim::new(n), true, trials, seed),
+        search(&TaggedSim::new(n), true, trials, seed),
+        search(&NaiveSim::new(n), false, trials, seed),
+        search(&Fig4Sim::with_announce_slots(n, 1), false, trials, seed),
+        search(&Fig4Sim::with_seq_domain(n, 1), false, trials, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_outcomes_match_expectations() {
+        // Keep the budget moderate so the test stays fast; the broken
+        // variants fail well within it and the correct ones never fail.
+        let reports = witness_report(3, 150, 0xABA);
+        assert_eq!(reports.len(), 5);
+        for report in &reports {
+            assert!(
+                report.matches_expectation(),
+                "{} did not match expectation (expected_correct={}, violated={})",
+                report.algorithm,
+                report.expected_correct,
+                report.outcome.is_violated()
+            );
+        }
+    }
+
+    #[test]
+    fn violated_reports_carry_a_usable_witness() {
+        let reports = witness_report(3, 200, 7);
+        let broken: Vec<_> = reports.iter().filter(|r| r.outcome.is_violated()).collect();
+        assert!(broken.len() >= 2);
+        for report in broken {
+            if let WitnessOutcome::Violated { witness } = &report.outcome {
+                assert!(!witness.schedule.is_empty());
+                assert!(!witness.history.is_empty());
+                let text = format!("{}", witness.violation);
+                assert!(text.contains("missed write") || text.contains("phantom"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 processes")]
+    fn small_systems_are_rejected() {
+        let _ = witness_report(2, 10, 0);
+    }
+}

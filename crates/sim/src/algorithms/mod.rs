@@ -1,0 +1,11 @@
+//! Algorithm state machines for the simulator.
+//!
+//! * [`fig3`] — Figure 3 (LL/SC/VL from a single bounded CAS);
+//! * [`fig4`] — Figure 4 (ABA-detecting register from n+1 registers), with
+//!   deliberately crippled variants for the lower-bound experiments;
+//! * [`baselines`] — the unbounded tagged baseline and a broken naive
+//!   register.
+
+pub mod baselines;
+pub mod fig3;
+pub mod fig4;

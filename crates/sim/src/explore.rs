@@ -1,0 +1,264 @@
+//! Experiment drivers: random-schedule correctness search and adversarial
+//! step-complexity measurements.
+//!
+//! These are the pieces the experiment binaries in `aba-bench` call into:
+//!
+//! * [`run_register_workload`] runs the paper's lower-bound workload (process
+//!   0 writes, everyone else reads) under a given schedule and returns the
+//!   history;
+//! * [`search_weak_violation`] hammers an algorithm with random schedules and
+//!   reports the first definite violation of the `WeakRead`/`WeakWrite`
+//!   condition, together with the schedule that produced it (the *witness*);
+//! * [`measure_llsc_worst_case`] measures worst-case `LL`/`SC` step counts of
+//!   a simulated LL/SC algorithm under contention-heavy schedules (experiment
+//!   E2's adversarial component).
+
+use aba_spec::weak::{check_weak_history, WeakViolation};
+use aba_spec::{History, ProcessId};
+
+use crate::algorithm::{MethodCall, SimAlgorithm};
+use crate::executor::Simulation;
+use crate::schedule;
+
+/// A violation witness: the schedule, the resulting history and the definite
+/// violation found in it.
+#[derive(Debug, Clone)]
+pub struct ViolationWitness {
+    /// The schedule (sequence of process IDs) that produced the violation.
+    pub schedule: Vec<ProcessId>,
+    /// Seed of the random schedule, for reproduction.
+    pub seed: u64,
+    /// The complete history of the execution.
+    pub history: History,
+    /// The first definite violation found.
+    pub violation: WeakViolation,
+}
+
+/// Run the lower-bound workload under `schedule`: process 0 performs
+/// `writes` DWrites (of values `1, 2, 3, …`), every other process performs
+/// `reads` DReads.  After the schedule is exhausted the simulation is run to
+/// quiescence so that the history is complete.
+pub fn run_register_workload(
+    algo: &dyn SimAlgorithm,
+    writes: usize,
+    reads: usize,
+    schedule: &[ProcessId],
+) -> History {
+    let mut sim = Simulation::new(algo);
+    for i in 0..writes {
+        // The written values deliberately repeat (A-B-A patterns): the whole
+        // point of an ABA-detecting register is to notice writes that restore
+        // an earlier value, so the workload must contain them.
+        sim.enqueue(0, MethodCall::DWrite((i % 3) as u32 + 1));
+    }
+    for pid in 1..algo.n() {
+        for _ in 0..reads {
+            sim.enqueue(pid, MethodCall::DRead);
+        }
+    }
+    sim.run_schedule(schedule);
+    sim.run_until_quiescent();
+    sim.history().clone()
+}
+
+/// Search for a definite violation of the weak correctness condition using
+/// random schedules.  Returns the first witness found within `trials`
+/// attempts, or `None` if the implementation survived them all.
+///
+/// For the faithful Figure 4 and the tagged baseline this always returns
+/// `None`; for the naive and crippled variants it finds a witness within a
+/// handful of trials.
+pub fn search_weak_violation(
+    algo: &dyn SimAlgorithm,
+    trials: u64,
+    base_seed: u64,
+) -> Option<ViolationWitness> {
+    let n = algo.n();
+    let writes = 4 * n.max(2);
+    let reads = 4;
+    // Enough slots for every queued method call to finish mid-schedule.
+    let len = 8 * (writes + (n - 1) * reads);
+    for trial in 0..trials {
+        let seed = base_seed.wrapping_add(trial);
+        let sched = schedule::random(n, len, seed);
+        let history = run_register_workload(algo, writes, reads, &sched);
+        let violations = check_weak_history(&history);
+        if let Some(v) = violations.into_iter().next() {
+            return Some(ViolationWitness {
+                schedule: sched,
+                seed,
+                history,
+                violation: v,
+            });
+        }
+    }
+    None
+}
+
+/// Summary of an adversarial step-complexity measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStats {
+    /// Maximum steps observed for a single method call of the victim.
+    pub worst_case: u64,
+    /// Total steps taken by the victim.
+    pub total: u64,
+    /// Number of method calls the victim completed.
+    pub operations: u64,
+}
+
+/// Run an *adaptive* adversary against a victim: the victim performs the
+/// queued method calls one shared-memory step at a time, and after every
+/// victim step the adversary schedules the other processes (feeding them
+/// fresh method calls from `refill`) until the shared memory has changed —
+/// the interleaving pattern the time–space tradeoff proofs (Lemmas 2 and 3)
+/// build, where every step of the victim is bracketed by successful
+/// writes/CASes of the others.
+fn adversarial_run(
+    algo: &dyn SimAlgorithm,
+    victim: ProcessId,
+    victim_calls: Vec<MethodCall>,
+    mut refill: impl FnMut(ProcessId, u64) -> MethodCall,
+) -> StepStats {
+    let n = algo.n();
+    let mut sim = Simulation::new(algo);
+    for call in victim_calls {
+        sim.enqueue(victim, call);
+    }
+    let mut counter: u64 = 0;
+    // Generous safety cap: no experiment needs more scheduler rounds than
+    // this; it only guards against a non-terminating simulated algorithm.
+    let mut guard = 0u64;
+    let guard_limit = 1_000_000u64;
+    while !(sim.is_idle(victim) && !sim.has_queued_work(victim)) && guard < guard_limit {
+        guard += 1;
+        let before = sim.registers();
+        let outcome = sim.step(victim);
+        if matches!(outcome, crate::executor::StepOutcome::Idle) {
+            break;
+        }
+        // Interfere until the memory visibly changes (or a bounded number of
+        // attempts, in case no other process can change it any more).
+        let mut attempts = 0usize;
+        while sim.registers() == before && attempts < 4 * n + 8 {
+            attempts += 1;
+            for pid in 0..n {
+                if pid == victim {
+                    continue;
+                }
+                if sim.is_idle(pid) && !sim.has_queued_work(pid) {
+                    counter += 1;
+                    sim.enqueue(pid, refill(pid, counter));
+                }
+                let _ = sim.step(pid);
+            }
+        }
+    }
+    let ops = sim
+        .history()
+        .ops()
+        .iter()
+        .filter(|o| o.pid == victim)
+        .count() as u64;
+    StepStats {
+        worst_case: sim.max_op_steps(victim),
+        total: sim.total_steps(victim),
+        operations: ops,
+    }
+}
+
+/// Measure the worst-case `LL` step count of a simulated LL/SC algorithm for
+/// a victim process while the other processes perform successful `LL`+`SC`
+/// pairs between every one of its steps (experiment E2).
+pub fn measure_llsc_worst_case(
+    algo: &dyn SimAlgorithm,
+    victim: ProcessId,
+    rounds: usize,
+) -> StepStats {
+    let mut victim_calls = Vec::new();
+    for _ in 0..rounds {
+        victim_calls.push(MethodCall::Ll);
+        victim_calls.push(MethodCall::Vl);
+    }
+    let mut toggle = false;
+    adversarial_run(algo, victim, victim_calls, move |_pid, counter| {
+        toggle = !toggle;
+        if toggle {
+            MethodCall::Ll
+        } else {
+            MethodCall::Sc((counter % 7) as u32 + 1)
+        }
+    })
+}
+
+/// Measure the worst-case `DRead` step count of a simulated ABA-register
+/// algorithm for a victim process under the same adaptive adversary
+/// (experiment E1's adversarial component; for Figure 4 this stays at 4
+/// regardless of n).
+pub fn measure_register_worst_case(
+    algo: &dyn SimAlgorithm,
+    victim: ProcessId,
+    rounds: usize,
+) -> StepStats {
+    let victim_calls = vec![MethodCall::DRead; rounds];
+    adversarial_run(algo, victim, victim_calls, |_pid, counter| {
+        MethodCall::DWrite((counter % 3) as u32 + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::baselines::{NaiveSim, TaggedSim};
+    use crate::algorithms::fig3::Fig3Sim;
+    use crate::algorithms::fig4::Fig4Sim;
+
+    #[test]
+    fn figure4_survives_random_search() {
+        let algo = Fig4Sim::new(3);
+        assert!(search_weak_violation(&algo, 40, 1).is_none());
+    }
+
+    #[test]
+    fn tagged_baseline_survives_random_search() {
+        let algo = TaggedSim::new(3);
+        assert!(search_weak_violation(&algo, 40, 1).is_none());
+    }
+
+    #[test]
+    fn naive_register_is_broken_quickly() {
+        let algo = NaiveSim::new(3);
+        let witness = search_weak_violation(&algo, 200, 1).expect("naive must break");
+        assert!(!witness.history.is_empty());
+        assert!(!witness.schedule.is_empty());
+    }
+
+    #[test]
+    fn crippled_small_domain_is_broken() {
+        // A sequence-number domain of a single value makes every write look
+        // identical; the violation search finds the resulting missed ABA.
+        let algo = Fig4Sim::with_seq_domain(3, 1);
+        assert!(search_weak_violation(&algo, 300, 7).is_some());
+    }
+
+    #[test]
+    fn fig3_worst_case_grows_with_n_and_fig4_does_not() {
+        let small = measure_llsc_worst_case(&Fig3Sim::new(2), 0, 6);
+        let large = measure_llsc_worst_case(&Fig3Sim::new(8), 0, 6);
+        assert!(large.worst_case > small.worst_case);
+        assert!(large.worst_case <= 2 * 8 + 1);
+
+        let f4_small = measure_register_worst_case(&Fig4Sim::new(2), 1, 6);
+        let f4_large = measure_register_worst_case(&Fig4Sim::new(8), 1, 6);
+        assert_eq!(f4_small.worst_case, 4);
+        assert_eq!(f4_large.worst_case, 4);
+    }
+
+    #[test]
+    fn workload_runner_produces_complete_histories() {
+        let algo = Fig4Sim::new(4);
+        let sched = schedule::random(4, 500, 3);
+        let h = run_register_workload(&algo, 8, 4, &sched);
+        assert_eq!(h.len(), 8 + 3 * 4);
+        assert!(h.is_well_formed());
+    }
+}

@@ -1,0 +1,119 @@
+//! Schedule generation.
+//!
+//! A *schedule* is a sequence of process IDs; the process named at position
+//! `i` executes the `i`-th shared-memory step of the execution (paper,
+//! Preliminaries).  The experiments use three families:
+//!
+//! * round-robin schedules (fair, low contention);
+//! * seeded random schedules (the workhorse of the violation search);
+//! * write-storm schedules that keep the writer (process 0) running as often
+//!   as possible between steps of a chosen reader, the pattern that drives
+//!   worst-case step complexity in Figure 3 and the covering construction of
+//!   Lemma 1.
+
+use aba_spec::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A round-robin schedule over `n` processes with `len` entries.
+pub fn round_robin(n: usize, len: usize) -> Vec<ProcessId> {
+    assert!(n > 0, "need at least one process");
+    (0..len).map(|i| i % n).collect()
+}
+
+/// A uniformly random schedule over `n` processes with `len` entries,
+/// deterministic in `seed`.
+pub fn random(n: usize, len: usize, seed: u64) -> Vec<ProcessId> {
+    assert!(n > 0, "need at least one process");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// A schedule biased towards one process: `victim` takes a step with
+/// probability `victim_share` (in percent), everyone else shares the rest.
+/// Useful to reproduce the "reader is constantly interfered with" pattern.
+pub fn biased(
+    n: usize,
+    len: usize,
+    victim: ProcessId,
+    victim_share_percent: u32,
+    seed: u64,
+) -> Vec<ProcessId> {
+    assert!(n > 0, "need at least one process");
+    assert!(victim < n, "victim out of range");
+    assert!(victim_share_percent <= 100, "share is a percentage");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..100) < victim_share_percent {
+                victim
+            } else {
+                let mut p = rng.gen_range(0..n);
+                if p == victim && n > 1 {
+                    p = (p + 1) % n;
+                }
+                p
+            }
+        })
+        .collect()
+}
+
+/// The "write storm" adversary: between any two steps of `reader`, every
+/// other process takes `burst` steps.  This is the interleaving pattern used
+/// in the time–space tradeoff constructions (Lemma 2/3), where the reader's
+/// steps are hidden behind successful writes/CASes of the other processes.
+pub fn write_storm(n: usize, reader: ProcessId, rounds: usize, burst: usize) -> Vec<ProcessId> {
+    assert!(n > 0, "need at least one process");
+    assert!(reader < n, "reader out of range");
+    let mut schedule = Vec::new();
+    for _ in 0..rounds {
+        schedule.push(reader);
+        for p in 0..n {
+            if p != reader {
+                for _ in 0..burst {
+                    schedule.push(p);
+                }
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        assert_eq!(round_robin(3, 7), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        assert_eq!(random(4, 50, 7), random(4, 50, 7));
+        assert_ne!(random(4, 50, 7), random(4, 50, 8));
+        assert!(random(4, 50, 7).iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn biased_respects_bounds() {
+        let s = biased(5, 200, 2, 80, 3);
+        assert_eq!(s.len(), 200);
+        assert!(s.iter().all(|&p| p < 5));
+        let victim_count = s.iter().filter(|&&p| p == 2).count();
+        assert!(victim_count > 100, "victim should dominate: {victim_count}");
+    }
+
+    #[test]
+    fn write_storm_interleaves_reader_and_writers() {
+        let s = write_storm(3, 1, 2, 2);
+        // Each round: reader once, then 2 steps each of processes 0 and 2.
+        assert_eq!(s, vec![1, 0, 0, 2, 2, 1, 0, 0, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reader out of range")]
+    fn write_storm_validates_reader() {
+        let _ = write_storm(2, 5, 1, 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Concurrent history recording.
+//!
+//! A *history* is the sequence of method-call invocations and responses that
+//! occur in an execution (paper, Preliminaries).  To check linearizability of
+//! the hardware implementations we record, for every completed operation, a
+//! global invocation timestamp and a global response timestamp drawn from a
+//! single shared atomic counter.  Two operations are ordered by happens-before
+//! (`op ≺ op'`) iff the response timestamp of the first is smaller than the
+//! invocation timestamp of the second.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::{ProcessId, Word};
+
+/// The kind (and recorded outcome) of a single completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `DWrite(x)` on an ABA-detecting register.
+    DWrite {
+        /// Written value.
+        value: Word,
+    },
+    /// `DRead()` on an ABA-detecting register, with its observed result.
+    DRead {
+        /// Returned value.
+        value: Word,
+        /// Returned "written since my last DRead" flag.
+        flag: bool,
+    },
+    /// `LL()` on an LL/SC/VL object, with the value it returned.
+    Ll {
+        /// Returned value.
+        value: Word,
+    },
+    /// `SC(x)` on an LL/SC/VL object, with its success flag.
+    Sc {
+        /// Attempted value.
+        value: Word,
+        /// Whether the store-conditional succeeded.
+        success: bool,
+    },
+    /// `VL()` on an LL/SC/VL object, with its result.
+    Vl {
+        /// Whether the link was still valid.
+        valid: bool,
+    },
+}
+
+impl OpKind {
+    /// `true` for operations that (always or when successful) change the
+    /// abstract value of the object.
+    pub fn is_mutator(&self) -> bool {
+        matches!(
+            self,
+            OpKind::DWrite { .. } | OpKind::Sc { success: true, .. }
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::DWrite { value } => write!(f, "DWrite({value})"),
+            OpKind::DRead { value, flag } => write!(f, "DRead() -> ({value}, {flag})"),
+            OpKind::Ll { value } => write!(f, "LL() -> {value}"),
+            OpKind::Sc { value, success } => write!(f, "SC({value}) -> {success}"),
+            OpKind::Vl { valid } => write!(f, "VL() -> {valid}"),
+        }
+    }
+}
+
+/// One completed operation in a concurrent history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Process that executed the operation.
+    pub pid: ProcessId,
+    /// What the operation was and what it returned.
+    pub kind: OpKind,
+    /// Global timestamp taken immediately before the operation's first
+    /// shared-memory step.
+    pub invoked: u64,
+    /// Global timestamp taken immediately after the operation's last
+    /// shared-memory step.
+    pub responded: u64,
+}
+
+impl OpRecord {
+    /// `true` iff `self` happens before `other` (responds before the other is
+    /// invoked).
+    pub fn happens_before(&self, other: &OpRecord) -> bool {
+        self.responded < other.invoked
+    }
+
+    /// `true` iff the two operations overlap (neither happens before the
+    /// other).
+    pub fn overlaps(&self, other: &OpRecord) -> bool {
+        !self.happens_before(other) && !other.happens_before(self)
+    }
+}
+
+/// A complete concurrent history of operations on one object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    ops: Vec<OpRecord>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a history from a vector of records.
+    pub fn from_ops(mut ops: Vec<OpRecord>) -> Self {
+        ops.sort_by_key(|op| (op.invoked, op.responded));
+        History { ops }
+    }
+
+    /// All records, ordered by invocation timestamp.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append one record (used by the simulator, which is single-threaded).
+    pub fn push(&mut self, op: OpRecord) {
+        self.ops.push(op);
+        self.ops.sort_by_key(|op| (op.invoked, op.responded));
+    }
+
+    /// The records issued by one process, in program order.
+    pub fn by_process(&self, pid: ProcessId) -> Vec<OpRecord> {
+        let mut v: Vec<OpRecord> = self.ops.iter().copied().filter(|o| o.pid == pid).collect();
+        v.sort_by_key(|op| op.invoked);
+        v
+    }
+
+    /// The set of process ids that appear in the history.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut pids: Vec<ProcessId> = self.ops.iter().map(|o| o.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// Basic well-formedness: per process, operations do not overlap each
+    /// other (processes are sequential), and every response follows its
+    /// invocation.
+    pub fn is_well_formed(&self) -> bool {
+        if self.ops.iter().any(|o| o.responded < o.invoked) {
+            return false;
+        }
+        for pid in self.processes() {
+            let per = self.by_process(pid);
+            for w in per.windows(2) {
+                if !(w[0].responded < w[1].invoked) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A thread-safe history recorder with a global logical clock.
+///
+/// The recorder is cheap enough to use inside stress tests: each operation
+/// costs two `fetch_add`s on the shared clock plus one mutex push at
+/// completion.  It is *not* used inside the algorithms themselves.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    clock: AtomicU64,
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl Recorder {
+    /// A fresh recorder sharable across threads.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Recorder::default())
+    }
+
+    /// Take an invocation timestamp.
+    pub fn invoke(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Take a response timestamp and record the completed operation.
+    pub fn complete(&self, pid: ProcessId, kind: OpKind, invoked: u64) {
+        let responded = self.clock.fetch_add(1, Ordering::SeqCst);
+        let rec = OpRecord {
+            pid,
+            kind,
+            invoked,
+            responded,
+        };
+        self.ops.lock().expect("recorder poisoned").push(rec);
+    }
+
+    /// Extract the recorded history.
+    pub fn into_history(self: Arc<Self>) -> History {
+        let recorder = Arc::try_unwrap(self).unwrap_or_else(|arc| Recorder {
+            clock: AtomicU64::new(arc.clock.load(Ordering::SeqCst)),
+            ops: Mutex::new(arc.ops.lock().expect("recorder poisoned").clone()),
+        });
+        History::from_ops(recorder.ops.into_inner().expect("recorder poisoned"))
+    }
+
+    /// Snapshot the history recorded so far without consuming the recorder.
+    pub fn snapshot(&self) -> History {
+        History::from_ops(self.ops.lock().expect("recorder poisoned").clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pid: ProcessId, kind: OpKind, invoked: u64, responded: u64) -> OpRecord {
+        OpRecord {
+            pid,
+            kind,
+            invoked,
+            responded,
+        }
+    }
+
+    #[test]
+    fn happens_before_and_overlap() {
+        let a = rec(0, OpKind::DWrite { value: 1 }, 0, 1);
+        let b = rec(1, OpKind::DRead { value: 1, flag: true }, 2, 3);
+        let c = rec(2, OpKind::DRead { value: 1, flag: true }, 1, 4);
+        assert!(a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn well_formedness_rejects_overlapping_same_process_ops() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 1 }, 0, 5),
+            rec(0, OpKind::DWrite { value: 2 }, 3, 8),
+        ]);
+        assert!(!h.is_well_formed());
+        let ok = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 1 }, 0, 2),
+            rec(0, OpKind::DWrite { value: 2 }, 3, 8),
+        ]);
+        assert!(ok.is_well_formed());
+    }
+
+    #[test]
+    fn recorder_produces_well_formed_history() {
+        let r = Recorder::new();
+        for i in 0..10u32 {
+            let inv = r.invoke();
+            r.complete(0, OpKind::DWrite { value: i }, inv);
+        }
+        let h = r.into_history();
+        assert_eq!(h.len(), 10);
+        assert!(h.is_well_formed());
+        assert_eq!(h.processes(), vec![0]);
+    }
+
+    #[test]
+    fn recorder_is_usable_across_threads() {
+        let r = Recorder::new();
+        std::thread::scope(|s| {
+            for pid in 0..4usize {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        let inv = r.invoke();
+                        r.complete(pid, OpKind::DWrite { value: i }, inv);
+                    }
+                });
+            }
+        });
+        let h = r.into_history();
+        assert_eq!(h.len(), 200);
+        assert!(h.is_well_formed());
+        assert_eq!(h.processes().len(), 4);
+    }
+
+    #[test]
+    fn mutator_classification() {
+        assert!(OpKind::DWrite { value: 3 }.is_mutator());
+        assert!(OpKind::Sc { value: 3, success: true }.is_mutator());
+        assert!(!OpKind::Sc { value: 3, success: false }.is_mutator());
+        assert!(!OpKind::DRead { value: 3, flag: false }.is_mutator());
+        assert!(!OpKind::Vl { valid: true }.is_mutator());
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(format!("{}", OpKind::DWrite { value: 7 }), "DWrite(7)");
+        assert_eq!(
+            format!("{}", OpKind::DRead { value: 7, flag: true }),
+            "DRead() -> (7, true)"
+        );
+        assert_eq!(format!("{}", OpKind::Ll { value: 7 }), "LL() -> 7");
+    }
+
+    #[test]
+    fn by_process_orders_by_invocation() {
+        let h = History::from_ops(vec![
+            rec(1, OpKind::DWrite { value: 2 }, 10, 11),
+            rec(1, OpKind::DWrite { value: 1 }, 0, 1),
+            rec(0, OpKind::DWrite { value: 3 }, 5, 6),
+        ]);
+        let per = h.by_process(1);
+        assert_eq!(per.len(), 2);
+        assert!(per[0].invoked < per[1].invoked);
+    }
+}

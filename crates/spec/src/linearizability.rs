@@ -1,0 +1,336 @@
+//! Linearizability checking (Wing–Gong style exhaustive search).
+//!
+//! Theorems 2–4 of the paper claim *linearizable* implementations.  To test
+//! the hardware implementations we record concurrent histories (see
+//! [`crate::history`]) and search for a linearization: a total order of the
+//! operations that (a) extends the happens-before order and (b) is accepted by
+//! the sequential specification ([`crate::sequential`]).
+//!
+//! The search is exponential in the worst case; it is intended for the short
+//! histories produced by the stress tests (tens of operations per window).
+//! Histories longer than 128 operations are rejected with
+//! [`LinCheckOutcome::TooLarge`] rather than silently truncated.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::history::{History, OpKind};
+use crate::sequential::{SeqAbaRegister, SeqLlSc};
+use crate::{ProcessId, Word};
+
+/// Maximum history length the exhaustive checker accepts.
+pub const MAX_CHECKED_OPS: usize = 128;
+
+/// Result of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinCheckOutcome {
+    /// A valid linearization exists; the witness lists operation indices (into
+    /// `History::ops()`) in linearization order.
+    Linearizable {
+        /// Indices into the history's operation list, in linearization order.
+        witness: Vec<usize>,
+    },
+    /// No linearization exists: the history is not linearizable with respect
+    /// to the sequential specification.
+    NotLinearizable,
+    /// The history exceeds [`MAX_CHECKED_OPS`] operations.
+    TooLarge {
+        /// Number of operations in the rejected history.
+        len: usize,
+    },
+}
+
+impl LinCheckOutcome {
+    /// `true` iff the history was proven linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinCheckOutcome::Linearizable { .. })
+    }
+}
+
+/// A sequential specification usable by the generic checker.
+trait CheckerSpec: Clone + Eq + Hash {
+    /// Apply the operation for `pid` and report whether the recorded outcome
+    /// (carried inside `kind`) is consistent with the specification.
+    fn apply(&mut self, pid: ProcessId, kind: &OpKind) -> bool;
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AbaSpecState(SeqAbaRegister);
+
+impl CheckerSpec for AbaSpecState {
+    fn apply(&mut self, pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::DWrite { value } => {
+                self.0.dwrite(pid, value);
+                true
+            }
+            OpKind::DRead { value, flag } => self.0.dread(pid) == (value, flag),
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LlScSpecState(SeqLlSc);
+
+impl CheckerSpec for LlScSpecState {
+    fn apply(&mut self, pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::Ll { value } => self.0.ll(pid) == value,
+            OpKind::Sc { value, success } => self.0.sc(pid, value) == success,
+            OpKind::Vl { valid } => self.0.vl(pid) == valid,
+            _ => false,
+        }
+    }
+}
+
+/// Check a history of `DWrite`/`DRead` operations against the ABA-detecting
+/// register specification.
+///
+/// `n` is the number of processes the register was created for and `initial`
+/// its initial value.
+///
+/// # Panics
+///
+/// Panics if the history contains LL/SC/VL operations.
+pub fn check_aba_history(history: &History, n: usize, initial: Word) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(op.kind, OpKind::DWrite { .. } | OpKind::DRead { .. }),
+            "check_aba_history given a non-register operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, AbaSpecState(SeqAbaRegister::new(n, initial)))
+}
+
+/// Check a history of `LL`/`SC`/`VL` operations against the LL/SC/VL
+/// specification.
+///
+/// # Panics
+///
+/// Panics if the history contains register operations.
+pub fn check_llsc_history(history: &History, n: usize, initial: Word) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(
+                op.kind,
+                OpKind::Ll { .. } | OpKind::Sc { .. } | OpKind::Vl { .. }
+            ),
+            "check_llsc_history given a non-LL/SC operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, LlScSpecState(SeqLlSc::new(n, initial)))
+}
+
+fn check_generic<S: CheckerSpec>(history: &History, initial: S) -> LinCheckOutcome {
+    let ops = history.ops();
+    if ops.len() > MAX_CHECKED_OPS {
+        return LinCheckOutcome::TooLarge { len: ops.len() };
+    }
+    if ops.is_empty() {
+        return LinCheckOutcome::Linearizable { witness: vec![] };
+    }
+    debug_assert!(history.is_well_formed(), "history must be well formed");
+
+    let len = ops.len();
+    let full: u128 = if len == 128 {
+        u128::MAX
+    } else {
+        (1u128 << len) - 1
+    };
+
+    let mut visited: HashSet<(u128, S)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::with_capacity(len);
+
+    fn dfs<S: CheckerSpec>(
+        ops: &[crate::history::OpRecord],
+        done: u128,
+        full: u128,
+        state: &S,
+        visited: &mut HashSet<(u128, S)>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        if done == full {
+            return true;
+        }
+        if !visited.insert((done, state.clone())) {
+            return false;
+        }
+        // Candidate next operations: not yet linearized, and no other
+        // unlinearized operation happens before them.
+        for (i, op) in ops.iter().enumerate() {
+            if done & (1u128 << i) != 0 {
+                continue;
+            }
+            let mut minimal = true;
+            for (j, other) in ops.iter().enumerate() {
+                if i != j && done & (1u128 << j) == 0 && other.responded < op.invoked {
+                    minimal = false;
+                    break;
+                }
+            }
+            if !minimal {
+                continue;
+            }
+            let mut next_state = state.clone();
+            if !next_state.apply(op.pid, &op.kind) {
+                continue;
+            }
+            witness.push(i);
+            if dfs(ops, done | (1u128 << i), full, &next_state, visited, witness) {
+                return true;
+            }
+            witness.pop();
+        }
+        false
+    }
+
+    if dfs(ops, 0, full, &initial, &mut visited, &mut witness) {
+        LinCheckOutcome::Linearizable { witness }
+    } else {
+        LinCheckOutcome::NotLinearizable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+
+    fn rec(pid: ProcessId, kind: OpKind, invoked: u64, responded: u64) -> OpRecord {
+        OpRecord {
+            pid,
+            kind,
+            invoked,
+            responded,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = History::new();
+        assert!(check_aba_history(&h, 2, 0).is_linearizable());
+        assert!(check_llsc_history(&h, 2, 0).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_aba_history_is_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 5 }, 0, 1),
+            rec(1, OpKind::DRead { value: 5, flag: true }, 2, 3),
+            rec(1, OpKind::DRead { value: 5, flag: false }, 4, 5),
+        ]);
+        assert!(check_aba_history(&h, 2, 0).is_linearizable());
+    }
+
+    #[test]
+    fn missed_aba_is_not_linearizable() {
+        // A write strictly precedes the read, yet the read reports no change:
+        // exactly the "missed ABA" failure the paper is about.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 5 }, 0, 1),
+            rec(1, OpKind::DRead { value: 5, flag: false }, 2, 3),
+        ]);
+        assert_eq!(check_aba_history(&h, 2, 0), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn stale_value_is_not_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 5 }, 0, 1),
+            rec(1, OpKind::DRead { value: 9, flag: true }, 2, 3),
+        ]);
+        assert_eq!(check_aba_history(&h, 2, 0), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_write_allows_either_flag() {
+        // Write overlaps the read: the read may linearize before or after it,
+        // so either flag value must be accepted (here: flag = false).
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 5 }, 0, 10),
+            rec(1, OpKind::DRead { value: 0, flag: false }, 1, 2),
+        ]);
+        assert!(check_aba_history(&h, 2, 0).is_linearizable());
+        let h2 = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 5 }, 0, 10),
+            rec(1, OpKind::DRead { value: 5, flag: true }, 1, 2),
+        ]);
+        assert!(check_aba_history(&h2, 2, 0).is_linearizable());
+    }
+
+    #[test]
+    fn llsc_history_with_interference_is_checked() {
+        // p0: LL, then p1: LL+SC succeeds, then p0's SC must fail.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Ll { value: 0 }, 0, 1),
+            rec(1, OpKind::Ll { value: 0 }, 2, 3),
+            rec(1, OpKind::Sc { value: 7, success: true }, 4, 5),
+            rec(0, OpKind::Sc { value: 9, success: false }, 6, 7),
+            rec(1, OpKind::Ll { value: 7 }, 8, 9),
+        ]);
+        assert!(check_llsc_history(&h, 2, 0).is_linearizable());
+
+        // The same history but with p0's SC claiming success is invalid.
+        let bad = History::from_ops(vec![
+            rec(0, OpKind::Ll { value: 0 }, 0, 1),
+            rec(1, OpKind::Ll { value: 0 }, 2, 3),
+            rec(1, OpKind::Sc { value: 7, success: true }, 4, 5),
+            rec(0, OpKind::Sc { value: 9, success: true }, 6, 7),
+        ]);
+        assert_eq!(check_llsc_history(&bad, 2, 0), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_respects_happens_before() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 1 }, 0, 1),
+            rec(0, OpKind::DWrite { value: 2 }, 2, 3),
+            rec(1, OpKind::DRead { value: 2, flag: true }, 4, 5),
+        ]);
+        match check_aba_history(&h, 2, 0) {
+            LinCheckOutcome::Linearizable { witness } => {
+                let pos = |i: usize| witness.iter().position(|&x| x == i).unwrap();
+                assert!(pos(0) < pos(1));
+                assert!(pos(1) < pos(2));
+            }
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_large_history_is_rejected() {
+        let mut ops = Vec::new();
+        for i in 0..(MAX_CHECKED_OPS as u64 + 1) {
+            ops.push(rec(0, OpKind::DWrite { value: 1 }, 2 * i, 2 * i + 1));
+        }
+        let h = History::from_ops(ops);
+        assert_eq!(
+            check_aba_history(&h, 1, 0),
+            LinCheckOutcome::TooLarge {
+                len: MAX_CHECKED_OPS + 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-register operation")]
+    fn aba_checker_rejects_llsc_ops() {
+        let h = History::from_ops(vec![rec(0, OpKind::Ll { value: 0 }, 0, 1)]);
+        let _ = check_aba_history(&h, 1, 0);
+    }
+
+    #[test]
+    fn concurrent_reads_by_distinct_processes_each_see_change_once() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::DWrite { value: 3 }, 0, 1),
+            rec(1, OpKind::DRead { value: 3, flag: true }, 2, 6),
+            rec(2, OpKind::DRead { value: 3, flag: true }, 3, 7),
+            rec(1, OpKind::DRead { value: 3, flag: false }, 8, 9),
+            rec(2, OpKind::DRead { value: 3, flag: false }, 10, 11),
+        ]);
+        assert!(check_aba_history(&h, 3, 0).is_linearizable());
+    }
+}

@@ -1,0 +1,360 @@
+//! Sequential specifications of the paper's two object types.
+//!
+//! These are the *abstract* objects that the concurrent implementations must
+//! linearize to.  They are deliberately tiny and obviously correct; the
+//! linearizability checker replays candidate linearizations against them, and
+//! the property tests in this crate exercise their invariants directly.
+
+use crate::{ProcessId, Word};
+
+/// Sequential specification of a multi-writer ABA-detecting register.
+///
+/// State: the current value, plus one "dirty" flag per process that is set by
+/// every `DWrite` and cleared by that process's `DRead`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqAbaRegister {
+    value: Word,
+    dirty: Vec<bool>,
+}
+
+impl SeqAbaRegister {
+    /// A register for `n` processes with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, initial: Word) -> Self {
+        assert!(n > 0, "need at least one process");
+        SeqAbaRegister {
+            value: initial,
+            dirty: vec![false; n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Current abstract value.
+    pub fn value(&self) -> Word {
+        self.value
+    }
+
+    /// Apply a `DWrite(x)` by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn dwrite(&mut self, pid: ProcessId, value: Word) {
+        assert!(pid < self.dirty.len(), "pid {pid} out of range");
+        self.value = value;
+        for flag in &mut self.dirty {
+            *flag = true;
+        }
+    }
+
+    /// Apply a `DRead()` by `pid`, returning what the abstract object returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn dread(&mut self, pid: ProcessId) -> (Word, bool) {
+        assert!(pid < self.dirty.len(), "pid {pid} out of range");
+        let flag = self.dirty[pid];
+        self.dirty[pid] = false;
+        (self.value, flag)
+    }
+
+    /// Whether a `DRead` by `pid` would currently report a change.
+    pub fn is_dirty(&self, pid: ProcessId) -> bool {
+        self.dirty[pid]
+    }
+}
+
+/// Sequential specification of an LL/SC/VL object.
+///
+/// State: the current value plus one link-validity bit per process.  `LL`
+/// validates the caller's link; a successful `SC` invalidates every link
+/// (including the caller's own).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqLlSc {
+    value: Word,
+    valid: Vec<bool>,
+}
+
+impl SeqLlSc {
+    /// An LL/SC/VL object for `n` processes with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, initial: Word) -> Self {
+        assert!(n > 0, "need at least one process");
+        SeqLlSc {
+            value: initial,
+            valid: vec![false; n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Current abstract value.
+    pub fn value(&self) -> Word {
+        self.value
+    }
+
+    /// Apply `LL()` by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn ll(&mut self, pid: ProcessId) -> Word {
+        assert!(pid < self.valid.len(), "pid {pid} out of range");
+        self.valid[pid] = true;
+        self.value
+    }
+
+    /// Apply `SC(x)` by `pid`; returns whether it succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn sc(&mut self, pid: ProcessId, value: Word) -> bool {
+        assert!(pid < self.valid.len(), "pid {pid} out of range");
+        if self.valid[pid] {
+            self.value = value;
+            for v in &mut self.valid {
+                *v = false;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Apply `VL()` by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn vl(&self, pid: ProcessId) -> bool {
+        assert!(pid < self.valid.len(), "pid {pid} out of range");
+        self.valid[pid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aba_register_flags_follow_the_specification() {
+        let mut r = SeqAbaRegister::new(3, 0);
+        // No write yet: first read is clean.
+        assert_eq!(r.dread(1), (0, false));
+        r.dwrite(0, 42);
+        // Every reader sees the change exactly once.
+        assert_eq!(r.dread(1), (42, true));
+        assert_eq!(r.dread(1), (42, false));
+        assert_eq!(r.dread(2), (42, true));
+        // A writer is also a reader in the multi-writer specification.
+        assert_eq!(r.dread(0), (42, true));
+        assert_eq!(r.dread(0), (42, false));
+    }
+
+    #[test]
+    fn aba_register_detects_write_of_same_value() {
+        // The essence of ABA detection: writing the *same* value still trips
+        // the flag, which a plain read/write register cannot reveal.
+        let mut r = SeqAbaRegister::new(2, 0);
+        r.dwrite(0, 5);
+        assert_eq!(r.dread(1), (5, true));
+        r.dwrite(0, 5);
+        assert_eq!(r.dread(1), (5, true));
+        assert_eq!(r.dread(1), (5, false));
+    }
+
+    #[test]
+    fn llsc_basic_protocol() {
+        let mut x = SeqLlSc::new(2, 0);
+        assert_eq!(x.ll(0), 0);
+        assert!(x.vl(0));
+        assert!(x.sc(0, 9));
+        assert_eq!(x.value(), 9);
+        // The successful SC invalidated everyone's link, including pid 0's.
+        assert!(!x.vl(0));
+        assert!(!x.sc(0, 10));
+        assert_eq!(x.value(), 9);
+    }
+
+    #[test]
+    fn llsc_sc_fails_after_interfering_success() {
+        let mut x = SeqLlSc::new(2, 7);
+        assert_eq!(x.ll(0), 7);
+        assert_eq!(x.ll(1), 7);
+        assert!(x.sc(1, 8));
+        // Process 0's link was invalidated by process 1's successful SC.
+        assert!(!x.vl(0));
+        assert!(!x.sc(0, 9));
+        assert_eq!(x.value(), 8);
+    }
+
+    #[test]
+    fn llsc_sc_without_ll_fails() {
+        let mut x = SeqLlSc::new(2, 0);
+        assert!(!x.sc(0, 1));
+        assert_eq!(x.value(), 0);
+        assert!(!x.vl(1));
+    }
+
+    #[test]
+    fn llsc_unsuccessful_sc_does_not_invalidate_others() {
+        let mut x = SeqLlSc::new(3, 0);
+        assert_eq!(x.ll(2), 0);
+        assert!(!x.sc(0, 1)); // no link, fails
+        assert!(x.vl(2)); // pid 2's link untouched
+        assert!(x.sc(2, 3));
+        assert_eq!(x.value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aba_register_rejects_bad_pid() {
+        let mut r = SeqAbaRegister::new(2, 0);
+        r.dwrite(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn llsc_rejects_zero_processes() {
+        let _ = SeqLlSc::new(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum AbaOp {
+        Write(ProcessId, Word),
+        Read(ProcessId),
+    }
+
+    fn aba_op_strategy(n: usize) -> impl Strategy<Value = AbaOp> {
+        prop_oneof![
+            (0..n, any::<Word>()).prop_map(|(p, v)| AbaOp::Write(p, v)),
+            (0..n).prop_map(AbaOp::Read),
+        ]
+    }
+
+    proptest! {
+        /// A DRead returns `true` iff a DWrite occurred since that process's
+        /// previous DRead — checked against an independently maintained
+        /// "last write index / last read index" bookkeeping.
+        #[test]
+        fn aba_flag_matches_independent_bookkeeping(
+            ops in proptest::collection::vec(aba_op_strategy(4), 1..200)
+        ) {
+            let n = 4;
+            let mut spec = SeqAbaRegister::new(n, 0);
+            let mut last_write_at: Option<usize> = None;
+            let mut last_read_at = vec![None::<usize>; n];
+            for (i, op) in ops.iter().enumerate() {
+                match *op {
+                    AbaOp::Write(p, v) => {
+                        spec.dwrite(p, v);
+                        last_write_at = Some(i);
+                    }
+                    AbaOp::Read(p) => {
+                        let (_, flag) = spec.dread(p);
+                        let expected = match (last_write_at, last_read_at[p]) {
+                            (None, _) => false,
+                            (Some(w), None) => { let _ = w; true },
+                            (Some(w), Some(r)) => w > r,
+                        };
+                        prop_assert_eq!(flag, expected, "op index {}", i);
+                        last_read_at[p] = Some(i);
+                    }
+                }
+            }
+        }
+
+        /// The value returned by DRead is always the most recently written
+        /// value (or the initial value).
+        #[test]
+        fn aba_value_is_last_written(
+            ops in proptest::collection::vec(aba_op_strategy(3), 1..200)
+        ) {
+            let mut spec = SeqAbaRegister::new(3, 17);
+            let mut last = 17u32;
+            for op in ops {
+                match op {
+                    AbaOp::Write(p, v) => { spec.dwrite(p, v); last = v; }
+                    AbaOp::Read(p) => {
+                        let (v, _) = spec.dread(p);
+                        prop_assert_eq!(v, last);
+                    }
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum LlScOp {
+        Ll(ProcessId),
+        Sc(ProcessId, Word),
+        Vl(ProcessId),
+    }
+
+    fn llsc_op_strategy(n: usize) -> impl Strategy<Value = LlScOp> {
+        prop_oneof![
+            (0..n).prop_map(LlScOp::Ll),
+            (0..n, any::<Word>()).prop_map(|(p, v)| LlScOp::Sc(p, v)),
+            (0..n).prop_map(LlScOp::Vl),
+        ]
+    }
+
+    proptest! {
+        /// SC by p succeeds iff no successful SC occurred since p's last LL —
+        /// checked against independently tracked indices.
+        #[test]
+        fn sc_success_matches_independent_bookkeeping(
+            ops in proptest::collection::vec(llsc_op_strategy(4), 1..200)
+        ) {
+            let n = 4;
+            let mut spec = SeqLlSc::new(n, 0);
+            let mut last_ll = vec![None::<usize>; n];
+            let mut last_successful_sc: Option<usize> = None;
+            for (i, op) in ops.iter().enumerate() {
+                match *op {
+                    LlScOp::Ll(p) => { spec.ll(p); last_ll[p] = Some(i); }
+                    LlScOp::Vl(p) => {
+                        let valid = spec.vl(p);
+                        let expected = match last_ll[p] {
+                            None => false,
+                            Some(l) => last_successful_sc.map_or(true, |s| s < l),
+                        };
+                        prop_assert_eq!(valid, expected, "VL at {}", i);
+                    }
+                    LlScOp::Sc(p, v) => {
+                        let ok = spec.sc(p, v);
+                        let expected = match last_ll[p] {
+                            None => false,
+                            Some(l) => last_successful_sc.map_or(true, |s| s < l),
+                        };
+                        prop_assert_eq!(ok, expected, "SC at {}", i);
+                        if ok {
+                            last_successful_sc = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

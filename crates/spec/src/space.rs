@@ -1,0 +1,227 @@
+//! Space accounting for base objects.
+//!
+//! The paper's lower bounds (Theorem 1, Corollary 1) are stated as a number
+//! `m` of *bounded base objects* (registers, CAS objects, writable CAS
+//! objects).  Every implementation in this reproduction reports how many base
+//! objects of each kind it allocates, so that the time–space product of
+//! Theorem 1 (b)/(c) — `m·t ≥ n-1` resp. `2·m·t ≥ n-1` — can be evaluated
+//! uniformly by `aba-bench`.
+
+use std::fmt;
+
+/// The kind of a base object, following the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BaseObjectKind {
+    /// A read/write register.
+    Register,
+    /// An object supporting `Read()` and `CAS(x, y)` but not `Write()`.
+    Cas,
+    /// A *writable* CAS object: `Read()`, `Write()` and `CAS(x, y)`.
+    ///
+    /// The paper uses writable CAS as the canonical conditional
+    /// read-modify-write primitive (each conditional operation can be
+    /// simulated by one operation on a writable CAS object).
+    WritableCas,
+    /// A load-linked/store-conditional (optionally with validate) object.
+    LlScVl,
+}
+
+impl fmt::Display for BaseObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BaseObjectKind::Register => "register",
+            BaseObjectKind::Cas => "CAS",
+            BaseObjectKind::WritableCas => "writable CAS",
+            BaseObjectKind::LlScVl => "LL/SC/VL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A summary of the base objects an implementation allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpaceUsage {
+    /// Number of read/write registers.
+    pub registers: usize,
+    /// Number of (non-writable) CAS objects.
+    pub cas_objects: usize,
+    /// Number of writable CAS objects.
+    pub writable_cas_objects: usize,
+    /// Number of LL/SC/VL objects used as base objects (only meaningful for
+    /// constructions layered on top of an LL/SC/VL object, such as Figure 5).
+    pub llsc_objects: usize,
+    /// Width of the widest base object in bits.
+    pub bits_per_object: u32,
+    /// `true` if every base object is bounded (finitely many states).
+    ///
+    /// The lower bounds only apply to bounded base objects; the unbounded-tag
+    /// baselines report `false` here and are exempt from the tradeoff.
+    pub bounded: bool,
+}
+
+impl SpaceUsage {
+    /// A usage of `registers` bounded registers of `bits_per_object` bits.
+    pub fn registers(registers: usize, bits_per_object: u32) -> Self {
+        SpaceUsage {
+            registers,
+            bits_per_object,
+            bounded: true,
+            ..SpaceUsage::default()
+        }
+    }
+
+    /// A usage of `cas` bounded CAS objects and `registers` bounded registers.
+    pub fn cas_and_registers(cas: usize, registers: usize, bits_per_object: u32) -> Self {
+        SpaceUsage {
+            registers,
+            cas_objects: cas,
+            bits_per_object,
+            bounded: true,
+            ..SpaceUsage::default()
+        }
+    }
+
+    /// A usage of a single unbounded CAS object (e.g. the unbounded-tag
+    /// baselines); exempt from the bounded-object lower bounds.
+    pub fn unbounded_cas(bits_per_object: u32) -> Self {
+        SpaceUsage {
+            cas_objects: 1,
+            bits_per_object,
+            bounded: false,
+            ..SpaceUsage::default()
+        }
+    }
+
+    /// Total number of base objects `m` as counted by Theorem 1.
+    pub fn total_objects(&self) -> usize {
+        self.registers + self.cas_objects + self.writable_cas_objects + self.llsc_objects
+    }
+
+    /// The paper's time–space product for this implementation given a measured
+    /// worst-case step complexity `t`.
+    ///
+    /// For implementations from registers and (plain) CAS objects the bound is
+    /// `m·t ≥ n-1` (Theorem 1 (b)); for writable CAS objects the bound is
+    /// `2·m·t ≥ n-1` (Theorem 1 (c)).  This helper returns the left-hand side
+    /// of whichever bound applies to the object mix.
+    pub fn time_space_product(&self, worst_case_steps: u64) -> u64 {
+        let m = self.total_objects() as u64;
+        if self.writable_cas_objects > 0 {
+            2 * m * worst_case_steps
+        } else {
+            m * worst_case_steps
+        }
+    }
+
+    /// Whether the time–space product satisfies the applicable lower bound for
+    /// `n` processes.  Unbounded implementations trivially satisfy it (the
+    /// bound does not apply to them), which is reported as `true`.
+    pub fn satisfies_tradeoff(&self, worst_case_steps: u64, n: usize) -> bool {
+        if !self.bounded {
+            return true;
+        }
+        self.time_space_product(worst_case_steps) >= (n as u64).saturating_sub(1)
+    }
+}
+
+impl fmt::Display for SpaceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.registers > 0 {
+            parts.push(format!("{} registers", self.registers));
+        }
+        if self.cas_objects > 0 {
+            parts.push(format!("{} CAS", self.cas_objects));
+        }
+        if self.writable_cas_objects > 0 {
+            parts.push(format!("{} writable CAS", self.writable_cas_objects));
+        }
+        if self.llsc_objects > 0 {
+            parts.push(format!("{} LL/SC/VL", self.llsc_objects));
+        }
+        if parts.is_empty() {
+            parts.push("0 base objects".to_string());
+        }
+        write!(
+            f,
+            "{} ({} bits each, {})",
+            parts.join(" + "),
+            self.bits_per_object,
+            if self.bounded { "bounded" } else { "unbounded" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_constructor_counts() {
+        let s = SpaceUsage::registers(9, 64);
+        assert_eq!(s.total_objects(), 9);
+        assert!(s.bounded);
+        assert_eq!(s.bits_per_object, 64);
+    }
+
+    #[test]
+    fn cas_and_registers_counts_both() {
+        let s = SpaceUsage::cas_and_registers(1, 8, 64);
+        assert_eq!(s.total_objects(), 9);
+        assert_eq!(s.cas_objects, 1);
+        assert_eq!(s.registers, 8);
+    }
+
+    #[test]
+    fn unbounded_cas_is_exempt_from_tradeoff() {
+        let s = SpaceUsage::unbounded_cas(64);
+        assert!(!s.bounded);
+        // Even a tiny product "satisfies" the bound because it does not apply.
+        assert!(s.satisfies_tradeoff(1, 1_000_000));
+    }
+
+    #[test]
+    fn time_space_product_plain_objects() {
+        let s = SpaceUsage::cas_and_registers(1, 0, 64);
+        // One CAS object with O(n) steps: product = n.
+        assert_eq!(s.time_space_product(64), 64);
+        assert!(s.satisfies_tradeoff(64, 65));
+        assert!(!s.satisfies_tradeoff(2, 65));
+    }
+
+    #[test]
+    fn time_space_product_writable_cas_doubles() {
+        let s = SpaceUsage {
+            writable_cas_objects: 3,
+            bits_per_object: 64,
+            bounded: true,
+            ..SpaceUsage::default()
+        };
+        assert_eq!(s.time_space_product(5), 2 * 3 * 5);
+    }
+
+    #[test]
+    fn figure4_point_is_tight_up_to_constants() {
+        // Figure 4: n+1 registers, O(1) steps (4 shared-memory steps per DRead).
+        let n = 128;
+        let s = SpaceUsage::registers(n + 1, 64);
+        assert!(s.satisfies_tradeoff(4, n));
+        // And it is within a constant factor of the bound n-1.
+        assert!(s.time_space_product(4) <= 8 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SpaceUsage::registers(3, 64);
+        let text = format!("{s}");
+        assert!(text.contains("3 registers"));
+        assert!(format!("{}", BaseObjectKind::WritableCas).contains("writable"));
+    }
+
+    #[test]
+    fn default_has_no_objects() {
+        let s = SpaceUsage::default();
+        assert_eq!(s.total_objects(), 0);
+        assert!(format!("{s}").contains("0 base objects"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the ABA-detecting register in one page.
+//!
+//! Creates the paper's Figure 4 register (n+1 bounded registers, O(1) steps),
+//! drives an A-B-A pattern from a writer thread, and shows that every reader
+//! notices every change — including writes that restore an earlier value,
+//! which a plain register cannot reveal.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use aba_repro::{AbaHandle, BoundedAbaRegister};
+
+fn main() {
+    let n = 3; // one writer + two readers
+    let register = BoundedAbaRegister::new(n);
+
+    std::thread::scope(|s| {
+        // Writer: drives the value through 1 -> 2 -> 1 (an ABA on the value).
+        let reg = &register;
+        s.spawn(move || {
+            let mut w = reg.handle(0);
+            for value in [1u32, 2, 1] {
+                w.dwrite(value);
+                println!("[writer ] DWrite({value})");
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+        });
+
+        // Readers: poll and report what they see.
+        for pid in 1..n {
+            let reg = &register;
+            s.spawn(move || {
+                let mut r = reg.handle(pid);
+                for _ in 0..6 {
+                    let (value, changed) = r.dread();
+                    println!("[reader{pid}] DRead() -> (value={value}, changed={changed})");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            });
+        }
+    });
+
+    // Sequential epilogue: the defining ABA-detection property.
+    let mut writer = register.handle(0);
+    let mut reader = register.handle(1);
+    writer.dwrite(7);
+    let _ = reader.dread();
+    writer.dwrite(7); // same value again
+    let (value, changed) = reader.dread();
+    println!("\nAfter re-writing the same value {value}: changed = {changed}");
+    assert!(changed, "Figure 4 detects the rewrite even though the value is identical");
+    println!("Step counts so far: writer {} steps, reader {} steps (both O(1) per operation).",
+        writer.step_count(), reader.step_count());
+}

@@ -1,0 +1,50 @@
+//! # aba-repro
+//!
+//! Facade crate for the reproduction of *"On the Time and Space Complexity
+//! of ABA Prevention and Detection"* (Aghazadeh & Woelfel, PODC 2015).
+//!
+//! It re-exports the individual crates so that the examples and integration
+//! tests (and downstream users who just want "the paper's algorithms") need a
+//! single dependency:
+//!
+//! * [`core`] — the algorithms on real atomics (Figures 3, 4, 5 and the
+//!   baselines);
+//! * [`spec`] — object specifications, histories, linearizability checking;
+//! * [`sim`] — the formal-model simulator and adversarial schedules;
+//! * [`lowerbound`] — covering experiments, violation witnesses, the
+//!   time–space tradeoff table;
+//! * [`hazard`] — hazard pointers;
+//! * [`lockfree`] — Treiber stacks with pluggable ABA protection and the
+//!   event-signal scenario.
+//!
+//! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aba_core as core;
+pub use aba_hazard as hazard;
+pub use aba_lockfree as lockfree;
+pub use aba_lowerbound as lowerbound;
+pub use aba_sim as sim;
+pub use aba_spec as spec;
+
+// The most commonly used items, re-exported at the top level for quickstart
+// ergonomics.
+pub use aba_core::{
+    stacks, AbaHandle, AbaRegisterObject, AnnounceLlSc, BoundedAbaRegister, CasLlSc, LlScHandle,
+    LlScObject, MoirLlSc, TaggedAbaRegister,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        let reg = crate::BoundedAbaRegister::new(2);
+        let mut w = reg.handle(0);
+        let mut r = reg.handle(1);
+        w.dwrite(1);
+        assert_eq!(r.dread(), (1, true));
+    }
+}
