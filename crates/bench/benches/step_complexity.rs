@@ -23,9 +23,15 @@ fn bench_adversary(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("figure3_ll_worst_case", n), &n, |b, &n| {
             b.iter(|| std::hint::black_box(measure_llsc_worst_case(&Fig3Sim::new(n), 0, 4)));
         });
-        group.bench_with_input(BenchmarkId::new("figure4_dread_worst_case", n), &n, |b, &n| {
-            b.iter(|| std::hint::black_box(measure_register_worst_case(&Fig4Sim::new(n), 1, 4)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("figure4_dread_worst_case", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    std::hint::black_box(measure_register_worst_case(&Fig4Sim::new(n), 1, 4))
+                });
+            },
+        );
     }
     group.finish();
 }

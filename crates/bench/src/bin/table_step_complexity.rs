@@ -52,7 +52,13 @@ fn main() {
     // --- LL/SC/VL (E2) ---------------------------------------------------
     let mut llsc_table = Table::new(
         "E2: LL/SC/VL worst-case LL step count vs n (simulator adversary)",
-        &["n", "Figure 3 (1 CAS)", "design bound 2n+1", "Announce (1 CAS + n regs)", "Moir (unbounded)"],
+        &[
+            "n",
+            "Figure 3 (1 CAS)",
+            "design bound 2n+1",
+            "Announce (1 CAS + n regs)",
+            "Moir (unbounded)",
+        ],
     );
     for &n in &ns {
         let fig3 = measure_llsc_worst_case(&Fig3Sim::new(n), 0, 8);

@@ -18,7 +18,13 @@ fn main() {
 
     let mut reg_table = Table::new(
         "E7a: ABA-detecting register throughput (ops/s)",
-        &["implementation", "1 thread", "2 threads", "4 threads", "8 threads"],
+        &[
+            "implementation",
+            "1 thread",
+            "2 threads",
+            "4 threads",
+            "8 threads",
+        ],
     );
     {
         let n = 8;
@@ -40,7 +46,13 @@ fn main() {
 
     let mut llsc_table = Table::new(
         "E7b: LL/SC/VL throughput (ops/s)",
-        &["implementation", "1 thread", "2 threads", "4 threads", "8 threads"],
+        &[
+            "implementation",
+            "1 thread",
+            "2 threads",
+            "4 threads",
+            "8 threads",
+        ],
     );
     {
         let n = 8;

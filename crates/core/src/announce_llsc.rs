@@ -318,7 +318,10 @@ mod tests {
             writer.ll();
             assert!(writer.sc(i), "writer round {i}");
         }
-        assert!(!parked.sc(999), "parked SC must fail after 100 interfering SCs");
+        assert!(
+            !parked.sc(999),
+            "parked SC must fail after 100 interfering SCs"
+        );
         // And after re-linking it succeeds again.
         assert_eq!(parked.ll(), 99);
         assert!(parked.sc(1000));
@@ -439,8 +442,8 @@ mod proptests {
             let x = AnnounceLlSc::new(n);
             let mut spec = SeqLlSc::new(n, INITIAL_WORD);
             let mut handles: Vec<_> = (0..n).map(|p| x.handle(p)).collect();
-            for p in 0..n {
-                assert_eq!(handles[p].ll(), spec.ll(p));
+            for (p, h) in handles.iter_mut().enumerate() {
+                assert_eq!(h.ll(), spec.ll(p));
             }
             for op in ops {
                 match op {

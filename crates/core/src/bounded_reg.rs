@@ -23,9 +23,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use aba_spec::{
-    AbaHandle, AbaRegisterObject, ProcessId, SpaceUsage, Word, INITIAL_WORD,
-};
+use aba_spec::{AbaHandle, AbaRegisterObject, ProcessId, SpaceUsage, Word, INITIAL_WORD};
 
 use crate::pack::{Pair, Triple, MAX_PROCESSES};
 use crate::seqpool::SeqRecycler;

@@ -284,7 +284,7 @@ mod tests {
         assert_eq!(b.ll(), INITIAL_WORD);
         assert!(b.sc(9));
         assert!(!a.vl());
-        assert!(b.vl() == false, "b's own SC invalidates b's link too");
+        assert!(!b.vl(), "b's own SC invalidates b's link too");
     }
 
     #[test]
@@ -409,8 +409,8 @@ mod proptests {
             let x = CasLlSc::new(n);
             let mut spec = SeqLlSc::new(n, INITIAL_WORD);
             let mut handles: Vec<_> = (0..n).map(|p| x.handle(p)).collect();
-            for p in 0..n {
-                assert_eq!(handles[p].ll(), spec.ll(p));
+            for (p, h) in handles.iter_mut().enumerate() {
+                assert_eq!(h.ll(), spec.ll(p));
             }
             for op in ops {
                 match op {

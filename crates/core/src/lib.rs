@@ -58,8 +58,7 @@ pub use tagged::{TaggedAbaRegister, TaggedHandle};
 
 // Re-export the vocabulary types users need alongside the implementations.
 pub use aba_spec::{
-    AbaHandle, AbaRegisterObject, LlScHandle, LlScObject, ProcessId, SpaceUsage, Word,
-    INITIAL_WORD,
+    AbaHandle, AbaRegisterObject, LlScHandle, LlScObject, ProcessId, SpaceUsage, Word, INITIAL_WORD,
 };
 
 /// All ABA-detecting register implementations, as trait objects, for the

@@ -19,9 +19,7 @@
 //! `LL()` when it is created; the priming step is not counted against any
 //! operation.
 
-use aba_spec::{
-    AbaHandle, AbaRegisterObject, LlScHandle, LlScObject, ProcessId, SpaceUsage, Word,
-};
+use aba_spec::{AbaHandle, AbaRegisterObject, LlScHandle, LlScObject, ProcessId, SpaceUsage, Word};
 
 #[cfg(test)]
 use aba_spec::INITIAL_WORD;
@@ -168,7 +166,10 @@ pub mod stacks {
     /// Figure 5 over the announce-based LL/SC (O(1) steps, 1 CAS + n
     /// registers).
     pub fn over_announce(n: usize) -> LlScAbaRegister<AnnounceLlSc> {
-        LlScAbaRegister::with_name(AnnounceLlSc::new(n), "Figure 5 over Announce (1 CAS + n regs)")
+        LlScAbaRegister::with_name(
+            AnnounceLlSc::new(n),
+            "Figure 5 over Announce (1 CAS + n regs)",
+        )
     }
 }
 

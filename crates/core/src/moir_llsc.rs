@@ -237,6 +237,7 @@ mod tests {
         let mut a = x.handle(0);
         let mut b = x.handle(1);
         a.ll(); // links (0, tag0)
+
         // b drives the value away and back.
         b.ll();
         assert!(b.sc(1));

@@ -126,7 +126,7 @@ impl MaskWord {
     /// line 6).
     pub fn full_mask(n: usize) -> u32 {
         assert!(
-            n >= 1 && n <= Self::MAX_PROCESSES,
+            (1..=Self::MAX_PROCESSES).contains(&n),
             "Figure 3 supports 1..=32 processes, got {n}"
         );
         if n == 32 {
@@ -285,15 +285,31 @@ mod tests {
         assert_eq!(next.value, 9);
         assert_eq!(next.tag, 1);
         assert_eq!(TagWord::unpack(next.pack()), next);
-        let wrapped = TagWord { value: 0, tag: u32::MAX }.bump(1);
+        let wrapped = TagWord {
+            value: 0,
+            tag: u32::MAX,
+        }
+        .bump(1);
         assert_eq!(wrapped.tag, 0);
     }
 
     #[test]
     fn distinct_triples_pack_distinctly() {
-        let a = Triple { value: 1, pid: 2, seq: 3 };
-        let b = Triple { value: 1, pid: 2, seq: 4 };
-        let c = Triple { value: 1, pid: 3, seq: 3 };
+        let a = Triple {
+            value: 1,
+            pid: 2,
+            seq: 3,
+        };
+        let b = Triple {
+            value: 1,
+            pid: 2,
+            seq: 4,
+        };
+        let c = Triple {
+            value: 1,
+            pid: 3,
+            seq: 3,
+        };
         assert_ne!(a.pack(), b.pack());
         assert_ne!(a.pack(), c.pack());
         assert_ne!(b.pack(), c.pack());

@@ -103,7 +103,7 @@ impl SeqRecycler {
             if self.used.iter().any(|u| *u == Some(s)) {
                 continue 'candidate;
             }
-            if self.na.iter().any(|a| *a == Some(s)) {
+            if self.na.contains(&Some(s)) {
                 continue 'candidate;
             }
             return s;

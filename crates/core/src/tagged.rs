@@ -19,9 +19,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use aba_spec::{
-    AbaHandle, AbaRegisterObject, ProcessId, SpaceUsage, Word, INITIAL_WORD,
-};
+use aba_spec::{AbaHandle, AbaRegisterObject, ProcessId, SpaceUsage, Word, INITIAL_WORD};
 
 use crate::pack::TagWord;
 use crate::stepcount::LocalSteps;

@@ -83,9 +83,7 @@ impl HazardDomain {
 
     /// Whether any thread currently protects `value`.
     pub fn is_protected(&self, value: u64) -> bool {
-        self.slots
-            .iter()
-            .any(|s| s.load(Ordering::SeqCst) == value)
+        self.slots.iter().any(|s| s.load(Ordering::SeqCst) == value)
     }
 
     /// The value currently protected by `tid`, if any.

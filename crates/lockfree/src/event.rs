@@ -164,7 +164,10 @@ mod tests {
         // Signal and reset before the waiter looks: still detected.
         signaler.signal();
         signaler.reset();
-        assert!(waiter.poll(), "Figure 4 catches the signalled-then-reset event");
+        assert!(
+            waiter.poll(),
+            "Figure 4 catches the signalled-then-reset event"
+        );
         assert!(!waiter.poll());
     }
 
@@ -175,7 +178,10 @@ mod tests {
         assert!(!waiter.poll());
         event.signal();
         event.reset();
-        assert!(!waiter.poll(), "the plain register misses the event (expected)");
+        assert!(
+            !waiter.poll(),
+            "the plain register misses the event (expected)"
+        );
     }
 
     #[test]

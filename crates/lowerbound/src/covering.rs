@@ -121,7 +121,7 @@ pub fn run_covering_experiment(algo: &dyn SimAlgorithm, rounds: usize) -> Coveri
         // γ_i: let the readers finish their DReads, then the writer completes
         // exactly one DWrite, returning to a quiescent configuration Q_i.
         for pid in 1..n {
-            while !(sim.is_idle(pid) && !sim.has_queued_work(pid)) {
+            while !sim.is_idle(pid) || sim.has_queued_work(pid) {
                 let _ = sim.step(pid);
             }
         }

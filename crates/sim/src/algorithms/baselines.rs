@@ -264,8 +264,20 @@ mod tests {
         sim.enqueue(1, MethodCall::DRead);
         sim.run_process_to_completion(1);
         let ops = sim.history().ops().to_vec();
-        assert_eq!(ops[1].kind, aba_spec::OpKind::DRead { value: 5, flag: true });
-        assert_eq!(ops[3].kind, aba_spec::OpKind::DRead { value: 5, flag: true });
+        assert_eq!(
+            ops[1].kind,
+            aba_spec::OpKind::DRead {
+                value: 5,
+                flag: true
+            }
+        );
+        assert_eq!(
+            ops[3].kind,
+            aba_spec::OpKind::DRead {
+                value: 5,
+                flag: true
+            }
+        );
     }
 
     #[test]
@@ -282,7 +294,13 @@ mod tests {
         sim.run_process_to_completion(1);
         let ops = sim.history().ops().to_vec();
         // The second read misses the write: that is the point of this strawman.
-        assert_eq!(ops[3].kind, aba_spec::OpKind::DRead { value: 5, flag: false });
+        assert_eq!(
+            ops[3].kind,
+            aba_spec::OpKind::DRead {
+                value: 5,
+                flag: false
+            }
+        );
         // And the weak-condition checker flags it as a definite violation.
         let violations = aba_spec::weak::check_weak_history(sim.history());
         assert!(!violations.is_empty());

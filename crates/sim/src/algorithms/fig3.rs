@@ -62,7 +62,10 @@ enum Phase {
     LlFirstRead,
     /// `LL`: read before a CAS attempt (line 20); `first` is the line 14
     /// value, `attempt` counts CAS attempts so far.
-    LlLoopRead { first: MaskWord, attempt: usize },
+    LlLoopRead {
+        first: MaskWord,
+        attempt: usize,
+    },
     /// `LL`: CAS attempt (line 21).
     LlLoopCas {
         first: MaskWord,
@@ -70,7 +73,10 @@ enum Phase {
         cur: MaskWord,
     },
     /// `SC`: read of `X` (line 3); `attempt` counts CAS attempts so far.
-    ScRead { value: Word, attempt: usize },
+    ScRead {
+        value: Word,
+        attempt: usize,
+    },
     /// `SC`: CAS attempt (line 6).
     ScCas {
         value: Word,
@@ -132,9 +138,10 @@ impl SimProcess for Fig3Process {
     fn poised(&self) -> BaseOp {
         match &self.phase {
             Phase::Idle => panic!("no method in progress"),
-            Phase::LlFirstRead | Phase::LlLoopRead { .. } | Phase::ScRead { .. } | Phase::VlRead => {
-                BaseOp::Read(X)
-            }
+            Phase::LlFirstRead
+            | Phase::LlLoopRead { .. }
+            | Phase::ScRead { .. }
+            | Phase::VlRead => BaseOp::Read(X),
             Phase::LlLoopCas { cur, .. } => {
                 BaseOp::Cas(X, cur.pack(), cur.with_bit_cleared(self.pid).pack())
             }
@@ -257,7 +264,13 @@ mod tests {
         sim.run_process_to_completion(1);
         let ops = sim.history().ops().to_vec();
         assert_eq!(ops[0].kind, aba_spec::OpKind::Ll { value: 0 });
-        assert_eq!(ops[1].kind, aba_spec::OpKind::Sc { value: 5, success: true });
+        assert_eq!(
+            ops[1].kind,
+            aba_spec::OpKind::Sc {
+                value: 5,
+                success: true
+            }
+        );
         assert_eq!(ops[2].kind, aba_spec::OpKind::Ll { value: 5 });
     }
 
@@ -288,8 +301,20 @@ mod tests {
         sim.enqueue(0, MethodCall::Sc(3));
         sim.run_process_to_completion(0);
         let ops = sim.history().ops().to_vec();
-        assert_eq!(ops[2].kind, aba_spec::OpKind::Sc { value: 9, success: true });
-        assert_eq!(ops[3].kind, aba_spec::OpKind::Sc { value: 3, success: false });
+        assert_eq!(
+            ops[2].kind,
+            aba_spec::OpKind::Sc {
+                value: 9,
+                success: true
+            }
+        );
+        assert_eq!(
+            ops[3].kind,
+            aba_spec::OpKind::Sc {
+                value: 3,
+                success: false
+            }
+        );
     }
 
     #[test]

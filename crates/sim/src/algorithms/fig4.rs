@@ -135,7 +135,7 @@ impl SimAlgorithm for Fig4Sim {
 /// crippled variant loses the invariant).
 fn choose_seq(domain: u16, used: &VecDeque<Option<u16>>, na: &[Option<u16>]) -> u16 {
     for s in 0..domain {
-        let blocked = used.iter().any(|u| *u == Some(s)) || na.iter().any(|a| *a == Some(s));
+        let blocked = used.iter().any(|u| *u == Some(s)) || na.contains(&Some(s));
         if !blocked {
             return s;
         }
@@ -147,17 +147,31 @@ fn choose_seq(domain: u16, used: &VecDeque<Option<u16>>, na: &[Option<u16>]) -> 
 enum Phase {
     Idle,
     /// `DWrite`: about to read the announce slot for `GetSeq` (line 28).
-    WriteScan { value: Word, slot: usize },
+    WriteScan {
+        value: Word,
+        slot: usize,
+    },
     /// `DWrite`: about to write `(x, p, s)` to `X` (line 27).
-    WritePublish { value: Word, seq: u16 },
+    WritePublish {
+        value: Word,
+        seq: u16,
+    },
     /// `DRead`: about to read `X` the first time (line 38).
     ReadX1,
     /// `DRead`: about to read the old announcement (line 39).
-    ReadOldAnnounce { first: Triple },
+    ReadOldAnnounce {
+        first: Triple,
+    },
     /// `DRead`: about to announce (line 40).
-    Announce { first: Triple, old: Pair },
+    Announce {
+        first: Triple,
+        old: Pair,
+    },
     /// `DRead`: about to read `X` the second time (line 41).
-    ReadX2 { first: Triple, old: Pair },
+    ReadX2 {
+        first: Triple,
+        old: Pair,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -204,10 +218,9 @@ impl SimProcess for Fig4Process {
             ),
             Phase::ReadX1 => BaseOp::Read(X),
             Phase::ReadOldAnnounce { .. } => BaseOp::Read(self.cfg.announce_obj(self.pid)),
-            Phase::Announce { first, .. } => BaseOp::Write(
-                self.cfg.announce_obj(self.pid),
-                first.pair().pack(),
-            ),
+            Phase::Announce { first, .. } => {
+                BaseOp::Write(self.cfg.announce_obj(self.pid), first.pair().pack())
+            }
             Phase::ReadX2 { .. } => BaseOp::Read(X),
         }
     }
@@ -307,11 +320,17 @@ mod tests {
         assert_eq!(ops.len(), 3);
         assert_eq!(
             ops[1].kind,
-            aba_spec::OpKind::DRead { value: 42, flag: true }
+            aba_spec::OpKind::DRead {
+                value: 42,
+                flag: true
+            }
         );
         assert_eq!(
             ops[2].kind,
-            aba_spec::OpKind::DRead { value: 42, flag: false }
+            aba_spec::OpKind::DRead {
+                value: 42,
+                flag: false
+            }
         );
     }
 

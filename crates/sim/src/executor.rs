@@ -357,6 +357,7 @@ mod tests {
         sim.enqueue(0, MethodCall::Ll);
         sim.enqueue(0, MethodCall::Sc(5));
         sim.run_process_to_completion(0); // LL
+
         // Start the SC and stop right before its CAS.
         let _ = sim.step(0); // read X
         let cas_covers = sim.cas_covers();

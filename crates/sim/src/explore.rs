@@ -129,7 +129,7 @@ fn adversarial_run(
     // this; it only guards against a non-terminating simulated algorithm.
     let mut guard = 0u64;
     let guard_limit = 1_000_000u64;
-    while !(sim.is_idle(victim) && !sim.has_queued_work(victim)) && guard < guard_limit {
+    while (!sim.is_idle(victim) || sim.has_queued_work(victim)) && guard < guard_limit {
         guard += 1;
         let before = sim.registers();
         let outcome = sim.step(victim);

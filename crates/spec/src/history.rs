@@ -165,7 +165,7 @@ impl History {
         for pid in self.processes() {
             let per = self.by_process(pid);
             for w in per.windows(2) {
-                if !(w[0].responded < w[1].invoked) {
+                if w[0].responded >= w[1].invoked {
                     return false;
                 }
             }
@@ -239,8 +239,24 @@ mod tests {
     #[test]
     fn happens_before_and_overlap() {
         let a = rec(0, OpKind::DWrite { value: 1 }, 0, 1);
-        let b = rec(1, OpKind::DRead { value: 1, flag: true }, 2, 3);
-        let c = rec(2, OpKind::DRead { value: 1, flag: true }, 1, 4);
+        let b = rec(
+            1,
+            OpKind::DRead {
+                value: 1,
+                flag: true,
+            },
+            2,
+            3,
+        );
+        let c = rec(
+            2,
+            OpKind::DRead {
+                value: 1,
+                flag: true,
+            },
+            1,
+            4,
+        );
         assert!(a.happens_before(&b));
         assert!(!b.happens_before(&a));
         assert!(a.overlaps(&c));
@@ -297,9 +313,21 @@ mod tests {
     #[test]
     fn mutator_classification() {
         assert!(OpKind::DWrite { value: 3 }.is_mutator());
-        assert!(OpKind::Sc { value: 3, success: true }.is_mutator());
-        assert!(!OpKind::Sc { value: 3, success: false }.is_mutator());
-        assert!(!OpKind::DRead { value: 3, flag: false }.is_mutator());
+        assert!(OpKind::Sc {
+            value: 3,
+            success: true
+        }
+        .is_mutator());
+        assert!(!OpKind::Sc {
+            value: 3,
+            success: false
+        }
+        .is_mutator());
+        assert!(!OpKind::DRead {
+            value: 3,
+            flag: false
+        }
+        .is_mutator());
         assert!(!OpKind::Vl { valid: true }.is_mutator());
     }
 
@@ -307,7 +335,13 @@ mod tests {
     fn display_formats_are_stable() {
         assert_eq!(format!("{}", OpKind::DWrite { value: 7 }), "DWrite(7)");
         assert_eq!(
-            format!("{}", OpKind::DRead { value: 7, flag: true }),
+            format!(
+                "{}",
+                OpKind::DRead {
+                    value: 7,
+                    flag: true
+                }
+            ),
             "DRead() -> (7, true)"
         );
         assert_eq!(format!("{}", OpKind::Ll { value: 7 }), "LL() -> 7");

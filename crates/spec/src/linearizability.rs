@@ -179,7 +179,14 @@ fn check_generic<S: CheckerSpec>(history: &History, initial: S) -> LinCheckOutco
                 continue;
             }
             witness.push(i);
-            if dfs(ops, done | (1u128 << i), full, &next_state, visited, witness) {
+            if dfs(
+                ops,
+                done | (1u128 << i),
+                full,
+                &next_state,
+                visited,
+                witness,
+            ) {
                 return true;
             }
             witness.pop();
@@ -219,8 +226,24 @@ mod tests {
     fn sequential_aba_history_is_linearizable() {
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 5 }, 0, 1),
-            rec(1, OpKind::DRead { value: 5, flag: true }, 2, 3),
-            rec(1, OpKind::DRead { value: 5, flag: false }, 4, 5),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 5,
+                    flag: true,
+                },
+                2,
+                3,
+            ),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 5,
+                    flag: false,
+                },
+                4,
+                5,
+            ),
         ]);
         assert!(check_aba_history(&h, 2, 0).is_linearizable());
     }
@@ -231,18 +254,40 @@ mod tests {
         // exactly the "missed ABA" failure the paper is about.
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 5 }, 0, 1),
-            rec(1, OpKind::DRead { value: 5, flag: false }, 2, 3),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 5,
+                    flag: false,
+                },
+                2,
+                3,
+            ),
         ]);
-        assert_eq!(check_aba_history(&h, 2, 0), LinCheckOutcome::NotLinearizable);
+        assert_eq!(
+            check_aba_history(&h, 2, 0),
+            LinCheckOutcome::NotLinearizable
+        );
     }
 
     #[test]
     fn stale_value_is_not_linearizable() {
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 5 }, 0, 1),
-            rec(1, OpKind::DRead { value: 9, flag: true }, 2, 3),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 9,
+                    flag: true,
+                },
+                2,
+                3,
+            ),
         ]);
-        assert_eq!(check_aba_history(&h, 2, 0), LinCheckOutcome::NotLinearizable);
+        assert_eq!(
+            check_aba_history(&h, 2, 0),
+            LinCheckOutcome::NotLinearizable
+        );
     }
 
     #[test]
@@ -251,12 +296,28 @@ mod tests {
         // so either flag value must be accepted (here: flag = false).
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 5 }, 0, 10),
-            rec(1, OpKind::DRead { value: 0, flag: false }, 1, 2),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 0,
+                    flag: false,
+                },
+                1,
+                2,
+            ),
         ]);
         assert!(check_aba_history(&h, 2, 0).is_linearizable());
         let h2 = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 5 }, 0, 10),
-            rec(1, OpKind::DRead { value: 5, flag: true }, 1, 2),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 5,
+                    flag: true,
+                },
+                1,
+                2,
+            ),
         ]);
         assert!(check_aba_history(&h2, 2, 0).is_linearizable());
     }
@@ -267,8 +328,24 @@ mod tests {
         let h = History::from_ops(vec![
             rec(0, OpKind::Ll { value: 0 }, 0, 1),
             rec(1, OpKind::Ll { value: 0 }, 2, 3),
-            rec(1, OpKind::Sc { value: 7, success: true }, 4, 5),
-            rec(0, OpKind::Sc { value: 9, success: false }, 6, 7),
+            rec(
+                1,
+                OpKind::Sc {
+                    value: 7,
+                    success: true,
+                },
+                4,
+                5,
+            ),
+            rec(
+                0,
+                OpKind::Sc {
+                    value: 9,
+                    success: false,
+                },
+                6,
+                7,
+            ),
             rec(1, OpKind::Ll { value: 7 }, 8, 9),
         ]);
         assert!(check_llsc_history(&h, 2, 0).is_linearizable());
@@ -277,10 +354,29 @@ mod tests {
         let bad = History::from_ops(vec![
             rec(0, OpKind::Ll { value: 0 }, 0, 1),
             rec(1, OpKind::Ll { value: 0 }, 2, 3),
-            rec(1, OpKind::Sc { value: 7, success: true }, 4, 5),
-            rec(0, OpKind::Sc { value: 9, success: true }, 6, 7),
+            rec(
+                1,
+                OpKind::Sc {
+                    value: 7,
+                    success: true,
+                },
+                4,
+                5,
+            ),
+            rec(
+                0,
+                OpKind::Sc {
+                    value: 9,
+                    success: true,
+                },
+                6,
+                7,
+            ),
         ]);
-        assert_eq!(check_llsc_history(&bad, 2, 0), LinCheckOutcome::NotLinearizable);
+        assert_eq!(
+            check_llsc_history(&bad, 2, 0),
+            LinCheckOutcome::NotLinearizable
+        );
     }
 
     #[test]
@@ -288,7 +384,15 @@ mod tests {
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 1 }, 0, 1),
             rec(0, OpKind::DWrite { value: 2 }, 2, 3),
-            rec(1, OpKind::DRead { value: 2, flag: true }, 4, 5),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 2,
+                    flag: true,
+                },
+                4,
+                5,
+            ),
         ]);
         match check_aba_history(&h, 2, 0) {
             LinCheckOutcome::Linearizable { witness } => {
@@ -326,10 +430,42 @@ mod tests {
     fn concurrent_reads_by_distinct_processes_each_see_change_once() {
         let h = History::from_ops(vec![
             rec(0, OpKind::DWrite { value: 3 }, 0, 1),
-            rec(1, OpKind::DRead { value: 3, flag: true }, 2, 6),
-            rec(2, OpKind::DRead { value: 3, flag: true }, 3, 7),
-            rec(1, OpKind::DRead { value: 3, flag: false }, 8, 9),
-            rec(2, OpKind::DRead { value: 3, flag: false }, 10, 11),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 3,
+                    flag: true,
+                },
+                2,
+                6,
+            ),
+            rec(
+                2,
+                OpKind::DRead {
+                    value: 3,
+                    flag: true,
+                },
+                3,
+                7,
+            ),
+            rec(
+                1,
+                OpKind::DRead {
+                    value: 3,
+                    flag: false,
+                },
+                8,
+                9,
+            ),
+            rec(
+                2,
+                OpKind::DRead {
+                    value: 3,
+                    flag: false,
+                },
+                10,
+                11,
+            ),
         ]);
         assert!(check_aba_history(&h, 3, 0).is_linearizable());
     }

@@ -338,7 +338,7 @@ mod proptests {
                         let valid = spec.vl(p);
                         let expected = match last_ll[p] {
                             None => false,
-                            Some(l) => last_successful_sc.map_or(true, |s| s < l),
+                            Some(l) => last_successful_sc.is_none_or(|s| s < l),
                         };
                         prop_assert_eq!(valid, expected, "VL at {}", i);
                     }
@@ -346,7 +346,7 @@ mod proptests {
                         let ok = spec.sc(p, v);
                         let expected = match last_ll[p] {
                             None => false,
-                            Some(l) => last_successful_sc.map_or(true, |s| s < l),
+                            Some(l) => last_successful_sc.is_none_or(|s| s < l),
                         };
                         prop_assert_eq!(ok, expected, "SC at {}", i);
                         if ok {

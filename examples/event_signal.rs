@@ -30,7 +30,10 @@ fn main() {
     naive.reset();
     let caught = naive_waiter.poll();
     println!("Plain register:          waiter noticed the signalled-then-reset event: {caught}");
-    assert!(!caught, "the plain register misses the event — the ABA problem");
+    assert!(
+        !caught,
+        "the plain register misses the event — the ABA problem"
+    );
 
     println!("\nThis is exactly the missed-event scenario the paper's introduction describes: resetting a register for reuse hides the signal from value-comparing waiters, and detecting it requires the machinery (and the space) the paper quantifies.");
 }

@@ -47,7 +47,13 @@ fn main() {
     writer.dwrite(7); // same value again
     let (value, changed) = reader.dread();
     println!("\nAfter re-writing the same value {value}: changed = {changed}");
-    assert!(changed, "Figure 4 detects the rewrite even though the value is identical");
-    println!("Step counts so far: writer {} steps, reader {} steps (both O(1) per operation).",
-        writer.step_count(), reader.step_count());
+    assert!(
+        changed,
+        "Figure 4 detects the rewrite even though the value is identical"
+    );
+    println!(
+        "Step counts so far: writer {} steps, reader {} steps (both O(1) per operation).",
+        writer.step_count(),
+        reader.step_count()
+    );
 }

@@ -37,8 +37,8 @@ fn all_llsc_objects_agree_with_spec_on_a_long_mixed_sequence() {
         let mut handles: Vec<_> = (0..n).map(|p| obj.handle(p)).collect();
         // Prime every process with an LL so the initial-link conventions of
         // Figure 3 and the sequential spec coincide.
-        for p in 0..n {
-            assert_eq!(handles[p].ll(), spec.ll(p), "{} priming", obj.name());
+        for (p, h) in handles.iter_mut().enumerate() {
+            assert_eq!(h.ll(), spec.ll(p), "{} priming", obj.name());
         }
         for step in 0..2_000usize {
             let p = (step * 5 + 1) % n;

@@ -26,7 +26,7 @@ fn record_register_round(reg: &dyn AbaRegisterObject, seed: usize) -> aba_repro:
             let recorder = Arc::clone(&recorder);
             s.spawn(move || {
                 for i in 0..OPS_PER_THREAD {
-                    if (pid + seed) % 2 == 0 {
+                    if (pid + seed).is_multiple_of(2) {
                         let value = ((i + seed) % 3) as u32;
                         let inv = recorder.invoke();
                         h.dwrite(value);

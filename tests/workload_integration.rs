@@ -57,8 +57,11 @@ fn event_signal_scenario_from_the_introduction() {
 
 #[test]
 fn event_signal_under_concurrent_pulses() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let event = EventSignal::new(BoundedAbaRegister::new(2));
     let pulses = 500;
+    let done = AtomicBool::new(false);
     std::thread::scope(|s| {
         s.spawn(|| {
             let mut signaler = event.signaler(0);
@@ -66,17 +69,24 @@ fn event_signal_under_concurrent_pulses() {
                 signaler.signal();
                 signaler.reset();
             }
+            done.store(true, Ordering::Release);
         });
         s.spawn(|| {
             let mut waiter = event.waiter(1);
             let mut observed = 0u32;
-            for _ in 0..(pulses * 4) {
+            // Poll for the whole pulse train, then once more: the final poll
+            // runs after the last write, so it must report the change unless
+            // an earlier poll already consumed it.
+            while !done.load(Ordering::Acquire) {
                 if waiter.poll() {
                     observed += 1;
                 }
             }
+            if waiter.poll() {
+                observed += 1;
+            }
             // We cannot observe more change-reports than there were writes,
-            // and concurrent polling must observe at least one.
+            // and polling across the whole train must observe at least one.
             assert!(observed >= 1);
             assert!(observed <= 2 * pulses);
         });

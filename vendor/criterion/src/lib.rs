@@ -1,0 +1,243 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Provides the surface the `aba-bench` benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`warm_up_time`/`measurement_time`/
+//! `bench_function`/`bench_with_input`/`finish`, [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Instead of the real crate's statistics (outlier rejection, bootstrap
+//! confidence intervals, HTML reports), each benchmark is timed with a plain
+//! warm-up + fixed-duration measurement loop and reported as one
+//! `ns/iter` line on stdout.  Swap in the real crate by pointing the
+//! workspace dependency at the registry; no bench needs to change.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(
+            &id.into(),
+            Duration::from_millis(100),
+            Duration::from_millis(300),
+            f,
+        );
+    }
+}
+
+/// A named benchmark, optionally parameterised (`name/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        BenchmarkId { full }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(full: &str) -> Self {
+        BenchmarkId { full: full.into() }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// How long to run the closure before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// How long the timed measurement loop runs.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.into(), self.warm_up_time, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly for the configured duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        loop {
+            // Check the clock once per small batch to keep timer overhead out
+            // of the per-iteration cost.
+            for _ in 0..64 {
+                black_box(routine());
+            }
+            iterations += 64;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &BenchmarkId,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up_time,
+        measurement_time,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{:<48} (no iterations recorded)", id.full);
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    println!(
+        "{:<48} {:>12.1} ns/iter  ({} iterations)",
+        id.full, ns, bencher.iterations
+    );
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_accepts_strings() {
+        let a: BenchmarkId = "plain".into();
+        assert_eq!(
+            a,
+            BenchmarkId {
+                full: "plain".into()
+            }
+        );
+        let b = BenchmarkId::new("name", 8);
+        assert_eq!(b.full, "name/8");
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Provides exactly the surface this repository's property tests use:
+//! the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map`, integer-range and tuple strategies, [`arbitrary::any`], and
+//! [`collection::vec`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case is reported with its generated inputs
+//!   but not minimised;
+//! * **fixed deterministic seed** — every test function runs the same 256
+//!   pseudo-random cases on every invocation, so failures are always
+//!   reproducible (the real crate randomises and persists regressions);
+//! * generation is a plain `Fn(&mut TestRng)` walk, with none of the real
+//!   crate's value-tree machinery.
+//!
+//! Swap in the real crate by pointing the workspace dependency at the
+//! registry; no test needs to change.
+
+#![forbid(unsafe_code)]
+
+/// Number of pseudo-random cases each `proptest!` test function runs.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the shim's fixed seed.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5EED_CAFE_F00D_0001,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `0..bound` (`bound > 0`).
+        pub fn index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample empty range");
+            (((self.next_u64() >> 32).wrapping_mul(bound as u64)) >> 32) as usize
+        }
+    }
+
+    /// Failure raised by `prop_assert*` inside a test body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Strategies: how values are generated.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy that applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    let hi = ((rng.next_u64() >> 32).wrapping_mul(span)) >> 32;
+                    self.start + hi as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// A boxed generation closure, as stored by [`Union`].
+    pub type UnionOption<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// See [`crate::prop_oneof!`]: picks one of several strategies uniformly.
+    pub struct Union<T> {
+        options: Vec<UnionOption<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given generation closures (non-empty).
+        pub fn new(options: Vec<UnionOption<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            (self.options[i])(rng)
+        }
+    }
+
+    /// See [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (subset: only `vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "cannot sample empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.index(self.len.end - self.len.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` running [`DEFAULT_CASES`] deterministic pseudo-random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                // Tuples of strategies are themselves strategies, so one
+                // `generate` call produces every argument.
+                let strategies = ($($strat,)+);
+                for case in 0..$crate::DEFAULT_CASES {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Pick one of the listed strategies uniformly at random per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case with context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current proptest case with context.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(usize),
+        B(usize, u32),
+    }
+
+    fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..n).prop_map(Op::A),
+            (0..n, 0u32..8).prop_map(|(p, v)| Op::B(p, v)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u32..5) {
+            prop_assert!((3..17).contains(&x), "x = {}", x);
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            ops in crate::collection::vec(op_strategy(4), 1..50),
+        ) {
+            prop_assert!(!ops.is_empty() && ops.len() < 50, "len = {}", ops.len());
+            for op in &ops {
+                match *op {
+                    Op::A(p) => prop_assert!(p < 4),
+                    Op::B(p, v) => { prop_assert!(p < 4); prop_assert!(v < 8); }
+                }
+            }
+        }
+
+        #[test]
+        fn any_generates_varied_values(xs in crate::collection::vec(any::<u16>(), 10..20)) {
+            // Not a tautology: 10+ independent draws collapsing to one value
+            // would indicate a broken generator.
+            let first = xs[0];
+            let _all_same = xs.iter().all(|&x| x == first);
+            prop_assert!(xs.len() >= 10);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let s = op_strategy(3);
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let (mut saw_a, mut saw_b) = (false, false);
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Op::A(_) => saw_a = true,
+                Op::B(..) => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b, "both prop_oneof! arms should be exercised");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::collection::vec(op_strategy(4), 1..50);
+        let mut r1 = crate::test_runner::TestRng::deterministic();
+        let mut r2 = crate::test_runner::TestRng::deterministic();
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The workspace builds without network access, so this shim provides exactly
+//! the surface the repository uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and [`Rng::gen_range`] over integer ranges.  The generator is SplitMix64 —
+//! deterministic in the seed, statistically fine for schedule generation, and
+//! *not* the same stream as the real `StdRng` (ChaCha12).  Code that only
+//! relies on "deterministic in the seed" (as this repository does) is
+//! unaffected; recorded seeds are only comparable within one implementation.
+//!
+//! Swap in the real crate by pointing the workspace dependency at the
+//! registry; no call site needs to change.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Create a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types [`Rng::gen_range`] can sample.  A single generic impl (like
+/// the real crate's `SampleUniform`) so that unsuffixed literals such as
+/// `0..100` unify with the surrounding expression's type.
+pub trait SampleUniform: Copy {
+    /// Widen to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrow from `u64` (caller guarantees the value fits).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (self.start.to_u64(), self.end.to_u64());
+        assert!(start < end, "cannot sample empty range");
+        // Multiply-shift bounded sampling; bias is < 2^-32 for the small
+        // spans used here.
+        let span = end - start;
+        let hi = ((rng.next_u64() >> 32).wrapping_mul(span)) >> 32;
+        T::from_u64(start + hi)
+    }
+}
+
+/// Convenience methods on random generators (subset: only `gen_range`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood / Vigna's public-domain mixer).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<usize> = (0..64).map(|_| a.gen_range(0..10usize)).collect();
+        let ys: Vec<usize> = (0..64).map(|_| b.gen_range(0..10usize)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn respects_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u32> = (0..32).map(|_| a.gen_range(0..1000u32)).collect();
+        let ys: Vec<u32> = (0..32).map(|_| b.gen_range(0..1000u32)).collect();
+        assert_ne!(xs, ys);
+    }
+}
