@@ -11,7 +11,7 @@
 //! Run with `cargo run -p aba-bench --bin lowerbound_witness --release`.
 
 use aba_bench::Table;
-use aba_lowerbound::{run_covering_experiment, witness_report, WitnessOutcome};
+use aba_lowerbound::{run_covering_experiment, witness_report, SearchBudget, WitnessOutcome};
 use aba_sim::algorithms::baselines::{NaiveSim, TaggedSim};
 use aba_sim::algorithms::fig4::Fig4Sim;
 use aba_sim::SimAlgorithm;
@@ -51,8 +51,12 @@ fn main() {
     println!("{}", covering.render());
 
     // --- Violation witnesses ---------------------------------------------
+    let budget = SearchBudget::standard();
     let mut witnesses = Table::new(
-        &format!("E5b: violation-witness search, n = {n}, 400 random schedules each"),
+        &format!(
+            "E5b: violation-witness search, n = {n}, budget {} schedules (seed {:#x})",
+            budget.trials, budget.seed
+        ),
         &[
             "algorithm",
             "base objects",
@@ -61,13 +65,19 @@ fn main() {
             "witness",
         ],
     );
-    for report in witness_report(n, 400, 0xABA) {
+    for report in witness_report(n, budget) {
         let (outcome, witness) = match &report.outcome {
             WitnessOutcome::Survived { trials } => {
                 (format!("survived {trials} schedules"), String::new())
             }
-            WitnessOutcome::Violated { witness } => (
-                format!("violated (seed {})", witness.seed),
+            WitnessOutcome::Violated {
+                trials_used,
+                witness,
+            } => (
+                format!(
+                    "violated after {trials_used} trials (seed {})",
+                    witness.seed
+                ),
                 format!("{}", witness.violation),
             ),
         };

@@ -1,97 +1,60 @@
-//! Experiment E7: hardware throughput of every implementation across thread
-//! counts.
+//! Experiment E7: the scenario × backend × thread-count throughput matrix,
+//! driven by the `aba-workload` engine.
+//!
+//! Six traffic shapes (stack churn, event signal/wait, counter CAS storms,
+//! read-heavy, write-heavy, pathological same-slot contention) crossed with
+//! every `LlScObject` implementation (Figure 3's single CAS, the
+//! announce-array object, Moir at tag widths 8/16/32) and every
+//! Treiber-stack variant (unprotected, tagged, hazard-protected, LL/SC
+//! head), each swept across thread counts with warmup and median-of-k
+//! repetitions.
 //!
 //! Absolute numbers depend on the machine; the reproducible *shape* is that
-//! the O(1)-step implementations (Figure 4, tagged, Announce, Moir) sustain
-//! higher operation rates than the O(n)-step single-CAS construction
-//! (Figure 3) as the thread count grows.
+//! the O(1)-step implementations sustain their rate as the thread count
+//! grows while the O(n)-step Figure 3 object degrades fastest under
+//! contention, and that the unprotected stack buys its speed with the
+//! incorrectness E6 quantifies.
 //!
 //! Run with `cargo run -p aba-bench --bin table_throughput --release`.
+//! Flags: `--quick` (CI-sized sweep), `--out <path>` (JSON destination,
+//! default `BENCH_throughput.json`).
 
-use aba_bench::{llsc_throughput, register_throughput, stack_throughput, Table};
-use aba_core::{all_aba_registers, all_llsc_objects};
-use aba_lockfree::all_stacks;
+use aba_workload::{
+    render_tables, run_matrix, standard_backends, standard_scenarios, to_json, EngineConfig,
+};
 
 fn main() {
-    let ops = 50_000;
-    let thread_counts = [1usize, 2, 4, 8];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
-    let mut reg_table = Table::new(
-        "E7a: ABA-detecting register throughput (ops/s)",
-        &[
-            "implementation",
-            "1 thread",
-            "2 threads",
-            "4 threads",
-            "8 threads",
-        ],
+    let config = if quick {
+        EngineConfig::quick()
+    } else {
+        EngineConfig::standard()
+    };
+    let scenarios = standard_scenarios();
+    let backends = standard_backends();
+    eprintln!(
+        "E7 matrix: {} scenarios x {} backends x {:?} threads, {} ops/thread, median of {}{}",
+        scenarios.len(),
+        backends.len(),
+        config.thread_counts,
+        config.ops_per_thread,
+        config.repetitions,
+        if quick { " (--quick)" } else { "" },
     );
-    {
-        let n = 8;
-        let names: Vec<String> = all_aba_registers(n)
-            .iter()
-            .map(|r| r.name().to_string())
-            .collect();
-        for (idx, name) in names.iter().enumerate() {
-            let mut cells = vec![name.clone()];
-            for &threads in &thread_counts {
-                let regs = all_aba_registers(n);
-                let t = register_throughput(regs[idx].as_ref(), threads, ops);
-                cells.push(format!("{:.0}", t.ops_per_sec()));
-            }
-            reg_table.row(&cells);
-        }
-    }
-    println!("{}", reg_table.render());
 
-    let mut llsc_table = Table::new(
-        "E7b: LL/SC/VL throughput (ops/s)",
-        &[
-            "implementation",
-            "1 thread",
-            "2 threads",
-            "4 threads",
-            "8 threads",
-        ],
-    );
-    {
-        let n = 8;
-        let names: Vec<String> = all_llsc_objects(n)
-            .iter()
-            .map(|o| o.name().to_string())
-            .collect();
-        for (idx, name) in names.iter().enumerate() {
-            let mut cells = vec![name.clone()];
-            for &threads in &thread_counts {
-                let objs = all_llsc_objects(n);
-                let t = llsc_throughput(objs[idx].as_ref(), threads, ops);
-                cells.push(format!("{:.0}", t.ops_per_sec()));
-            }
-            llsc_table.row(&cells);
-        }
-    }
-    println!("{}", llsc_table.render());
-
-    let mut stack_table = Table::new(
-        "E7c: Treiber stack throughput (push+pop pairs/s)",
-        &["variant", "1 thread", "2 threads", "4 threads", "8 threads"],
-    );
-    {
-        let capacity = 64;
-        let names: Vec<String> = all_stacks(capacity, 8)
-            .iter()
-            .map(|s| s.name().to_string())
-            .collect();
-        for (idx, name) in names.iter().enumerate() {
-            let mut cells = vec![name.clone()];
-            for &threads in &thread_counts {
-                let stacks = all_stacks(capacity, 8);
-                let t = stack_throughput(stacks[idx].as_ref(), threads, ops / 5);
-                cells.push(format!("{:.0}", t.ops_per_sec()));
-            }
-            stack_table.row(&cells);
-        }
-    }
-    println!("{}", stack_table.render());
+    let result = run_matrix(&scenarios, &backends, &config);
+    println!("{}", render_tables(&result));
     println!("Expected shape: constant-step implementations sustain their rate as threads grow; the Figure 3 single-CAS object degrades fastest under contention (its retry loop is Θ(n)); the unprotected stack is fast but incorrect (see table_aba_incidence).");
+
+    std::fs::write(&out_path, to_json(&result))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} cells)", result.cells.len());
 }

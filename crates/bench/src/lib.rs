@@ -1,9 +1,10 @@
 //! # aba-bench
 //!
-//! The experiment harness: throughput measurement helpers, table formatting
-//! and the shared plumbing used by the table-generating binaries
-//! (`table_step_complexity`, `table_tradeoff`, `table_aba_incidence`,
-//! `table_throughput`, `lowerbound_witness`) and the Criterion benches.
+//! The experiment harness: table formatting and the shared plumbing used by
+//! the table-generating binaries (`table_step_complexity`, `table_tradeoff`,
+//! `table_aba_incidence`, `table_throughput`, `lowerbound_witness`) and the
+//! Criterion benches.  Throughput measurement itself lives in the
+//! `aba-workload` engine, which `table_throughput` drives.
 //!
 //! Every binary prints a self-contained plain-text table whose rows map
 //! one-to-one onto the experiment index in `DESIGN.md` / `EXPERIMENTS.md`.
@@ -11,10 +12,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-
-use std::time::{Duration, Instant};
-
-use aba_spec::{AbaRegisterObject, LlScObject};
 
 /// A plain-text table builder for experiment output.
 #[derive(Debug, Clone)]
@@ -84,103 +81,9 @@ impl Table {
     }
 }
 
-/// Throughput (operations per second) measured for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Throughput {
-    /// Total operations completed across all threads.
-    pub operations: u64,
-    /// Wall-clock duration of the measurement.
-    pub elapsed: Duration,
-}
-
-impl Throughput {
-    /// Operations per second.
-    pub fn ops_per_sec(&self) -> f64 {
-        self.operations as f64 / self.elapsed.as_secs_f64().max(1e-9)
-    }
-}
-
-/// Measure multi-threaded throughput of an ABA-detecting register: even
-/// process IDs write, odd ones read, for `ops_per_thread` operations each.
-pub fn register_throughput(
-    reg: &dyn AbaRegisterObject,
-    threads: usize,
-    ops_per_thread: usize,
-) -> Throughput {
-    assert!(threads > 0 && threads <= reg.processes());
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for pid in 0..threads {
-            s.spawn(move || {
-                let mut h = reg.handle(pid);
-                for i in 0..ops_per_thread {
-                    if pid % 2 == 0 {
-                        h.dwrite((i % 3) as u32);
-                    } else {
-                        std::hint::black_box(h.dread());
-                    }
-                }
-            });
-        }
-    });
-    Throughput {
-        operations: (threads * ops_per_thread) as u64,
-        elapsed: start.elapsed(),
-    }
-}
-
-/// Measure multi-threaded throughput of an LL/SC/VL object: every thread runs
-/// LL/VL/SC loops.
-pub fn llsc_throughput(obj: &dyn LlScObject, threads: usize, ops_per_thread: usize) -> Throughput {
-    assert!(threads > 0 && threads <= obj.processes());
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for pid in 0..threads {
-            s.spawn(move || {
-                let mut h = obj.handle(pid);
-                for i in 0..ops_per_thread {
-                    h.ll();
-                    std::hint::black_box(h.vl());
-                    std::hint::black_box(h.sc((i % 5) as u32));
-                }
-            });
-        }
-    });
-    Throughput {
-        operations: (threads * ops_per_thread * 3) as u64,
-        elapsed: start.elapsed(),
-    }
-}
-
-/// Measure multi-threaded throughput of a lock-free stack (push+pop pairs).
-pub fn stack_throughput(
-    stack: &dyn aba_lockfree::Stack,
-    threads: usize,
-    ops_per_thread: usize,
-) -> Throughput {
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for tid in 0..threads {
-            s.spawn(move || {
-                let mut h = stack.handle(tid);
-                for i in 0..ops_per_thread {
-                    let _ = h.push(i as u32);
-                    std::hint::black_box(h.pop());
-                }
-            });
-        }
-    });
-    Throughput {
-        operations: (threads * ops_per_thread * 2) as u64,
-        elapsed: start.elapsed(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aba_core::{BoundedAbaRegister, CasLlSc};
-    use aba_lockfree::TaggedStack;
 
     #[test]
     fn table_renders_aligned_output() {
@@ -199,27 +102,5 @@ mod tests {
     fn table_rejects_wrong_arity() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only one".to_string()]);
-    }
-
-    #[test]
-    fn register_throughput_counts_operations() {
-        let reg = BoundedAbaRegister::new(4);
-        let t = register_throughput(&reg, 2, 1_000);
-        assert_eq!(t.operations, 2_000);
-        assert!(t.ops_per_sec() > 0.0);
-    }
-
-    #[test]
-    fn llsc_throughput_counts_operations() {
-        let obj = CasLlSc::new(4);
-        let t = llsc_throughput(&obj, 2, 500);
-        assert_eq!(t.operations, 3_000);
-    }
-
-    #[test]
-    fn stack_throughput_runs() {
-        let stack = TaggedStack::new(64);
-        let t = stack_throughput(&stack, 2, 500);
-        assert_eq!(t.operations, 2_000);
     }
 }

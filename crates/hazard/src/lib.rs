@@ -38,8 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Sentinel meaning "no handle protected".
 const EMPTY: u64 = u64::MAX;
 
-/// Threshold (in retired handles) at which [`HazardHandle::retire`] triggers
-/// a scan automatically.
+/// Floor (in retired handles) for the automatic-scan trigger of
+/// [`HazardHandle::retire`]; the actual trigger is
+/// [`HazardDomain::scan_threshold`], which scales with the domain size.
 pub const SCAN_THRESHOLD: usize = 64;
 
 /// A hazard-pointer domain for `n` participating threads, each with one
@@ -91,6 +92,21 @@ impl HazardDomain {
         let v = self.slots[tid].load(Ordering::SeqCst);
         (v != EMPTY).then_some(v)
     }
+
+    /// Retired-list length at which [`HazardHandle::retire`] triggers a scan
+    /// automatically: `max(`[`SCAN_THRESHOLD`]`, 2 · threads)`.
+    ///
+    /// Michael's analysis needs the trigger to scale with the number of
+    /// hazard slots (the `H·n` rule, here `H = 1` slot per thread): a scan
+    /// can free no more than `retired − protectors` values, so a flat
+    /// trigger smaller than the domain size would let large domains scan
+    /// while up to `threads` values stay protected — unbounded `kept` growth
+    /// and quadratic rescans.  With `2n` the scan always frees at least half
+    /// the list, making reclamation amortised O(1) per retire; the constant
+    /// stays as a floor so small domains keep their batching.
+    pub fn scan_threshold(&self) -> usize {
+        SCAN_THRESHOLD.max(2 * self.threads())
+    }
 }
 
 /// Per-thread handle of a [`HazardDomain`]: one hazard slot plus a private
@@ -130,10 +146,18 @@ impl HazardHandle<'_> {
 
     /// Retire `value`: it will be handed to `free` once no thread protects
     /// it.  A scan runs automatically when the retired list reaches
-    /// [`SCAN_THRESHOLD`].
+    /// [`HazardDomain::scan_threshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is `u64::MAX` (the internal sentinel).  A retired
+    /// sentinel could never match any protector, so it would silently bypass
+    /// protection and corrupt the accounting — the same reason
+    /// [`HazardHandle::protect`] rejects it.
     pub fn retire(&mut self, value: u64, free: impl FnMut(u64)) {
+        assert_ne!(value, EMPTY, "the sentinel cannot be retired");
         self.retired.push(value);
-        if self.retired.len() >= SCAN_THRESHOLD {
+        if self.retired.len() >= self.domain.scan_threshold() {
             self.scan(free);
         }
     }
@@ -267,5 +291,43 @@ mod tests {
     fn sentinel_cannot_be_protected() {
         let d = HazardDomain::new(1);
         d.handle(0).protect(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_cannot_be_retired() {
+        // Regression: `retire` used to accept the sentinel `protect` rejects,
+        // so a retired sentinel could never be matched by any protector.
+        let d = HazardDomain::new(1);
+        d.handle(0).retire(u64::MAX, |_| {});
+    }
+
+    #[test]
+    fn scan_trigger_scales_with_domain_size() {
+        // Regression: the trigger used to be a flat SCAN_THRESHOLD, so an
+        // n = 128 domain would scan with up to 128 protectors but only 64
+        // retirees.  Post-fix the trigger is max(SCAN_THRESHOLD, 2n) = 256.
+        let d = HazardDomain::new(128);
+        assert_eq!(d.scan_threshold(), 256);
+        let mut h = d.handle(0);
+        let mut freed = 0usize;
+        for v in 1..=255u64 {
+            h.retire(v, |_| freed += 1);
+        }
+        // Nothing is protected, so an (early) scan would have freed
+        // everything; the list growing past SCAN_THRESHOLD proves the scan
+        // has not fired yet.
+        assert_eq!(freed, 0);
+        assert_eq!(h.retired_len(), 255);
+        // The 256th retire crosses the scaled trigger and reclaims all.
+        h.retire(256, |_| freed += 1);
+        assert_eq!(freed, 256);
+        assert_eq!(h.retired_len(), 0);
+    }
+
+    #[test]
+    fn small_domains_keep_the_constant_floor() {
+        let d = HazardDomain::new(4);
+        assert_eq!(d.scan_threshold(), SCAN_THRESHOLD);
     }
 }

@@ -27,15 +27,44 @@ pub use event::{EventSignal, NaiveEventSignal, Signaler, Waiter};
 pub use stack::{HazardStack, LlScStack, Stack, StackHandle, TaggedStack, UnprotectedStack};
 pub use stress::{stress_stack, StressReport};
 
+/// A named constructor for one stack variant: `(capacity, threads) -> stack`.
+///
+/// Harnesses that build a fresh instance per measurement cell (the
+/// `aba-workload` engine, the stress loops) go through these instead of
+/// hard-coding the roster.
+pub type StackBuilder = Box<dyn Fn(usize, usize) -> Box<dyn Stack> + Send + Sync>;
+
+/// Named builders for the standard roster of stack variants, in E6 display
+/// order.  The names are stable registry keys (used in experiment tables and
+/// `BENCH_throughput.json`).
+pub fn stack_builders() -> Vec<(&'static str, StackBuilder)> {
+    vec![
+        (
+            "stack/unprotected",
+            Box::new(|cap, _threads| Box::new(UnprotectedStack::new(cap)) as Box<dyn Stack>),
+        ),
+        (
+            "stack/tagged",
+            Box::new(|cap, _threads| Box::new(TaggedStack::new(cap)) as Box<dyn Stack>),
+        ),
+        (
+            "stack/hazard",
+            Box::new(|cap, threads| Box::new(HazardStack::new(cap, threads)) as Box<dyn Stack>),
+        ),
+        (
+            "stack/llsc-head",
+            Box::new(|cap, threads| Box::new(LlScStack::new(cap, threads)) as Box<dyn Stack>),
+        ),
+    ]
+}
+
 /// The standard roster of stack variants for experiment E6, sized for
 /// `threads` threads with an arena of `capacity` nodes.
 pub fn all_stacks(capacity: usize, threads: usize) -> Vec<Box<dyn Stack>> {
-    vec![
-        Box::new(UnprotectedStack::new(capacity)),
-        Box::new(TaggedStack::new(capacity)),
-        Box::new(HazardStack::new(capacity, threads)),
-        Box::new(LlScStack::new(capacity, threads)),
-    ]
+    stack_builders()
+        .into_iter()
+        .map(|(_, build)| build(capacity, threads))
+        .collect()
 }
 
 #[cfg(test)]
@@ -50,6 +79,27 @@ mod tests {
             let mut h = stack.handle(0);
             assert!(h.push(1));
             assert_eq!(h.pop(), Some(1));
+        }
+    }
+
+    #[test]
+    fn builder_registry_names_are_stable_and_distinct() {
+        let builders = stack_builders();
+        let names: Vec<_> = builders.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "stack/unprotected",
+                "stack/tagged",
+                "stack/hazard",
+                "stack/llsc-head"
+            ]
+        );
+        for (_, build) in builders {
+            let stack = build(4, 2);
+            let mut h = stack.handle(1);
+            assert!(h.push(9));
+            assert_eq!(h.pop(), Some(9));
         }
     }
 }

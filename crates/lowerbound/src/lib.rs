@@ -31,4 +31,4 @@ pub mod witness;
 
 pub use covering::{run_covering_experiment, CoveringReport};
 pub use tradeoff::{llsc_tradeoff_rows, register_tradeoff_rows, TradeoffRow};
-pub use witness::{witness_report, WitnessOutcome, WitnessReport};
+pub use witness::{witness_report, SearchBudget, WitnessOutcome, WitnessReport};

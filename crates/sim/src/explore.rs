@@ -28,6 +28,9 @@ pub struct ViolationWitness {
     pub schedule: Vec<ProcessId>,
     /// Seed of the random schedule, for reproduction.
     pub seed: u64,
+    /// 0-based index of the trial (within the search) that found the
+    /// violation.
+    pub trial: u64,
     /// The complete history of the execution.
     pub history: History,
     /// The first definite violation found.
@@ -87,6 +90,7 @@ pub fn search_weak_violation(
             return Some(ViolationWitness {
                 schedule: sched,
                 seed,
+                trial,
                 history,
                 violation: v,
             });

@@ -1,0 +1,310 @@
+//! The backend side of the matrix: everything a scenario can drive.
+//!
+//! A [`Workload`] adapts one shared object — an [`LlScObject`] or a
+//! [`Stack`](aba_lockfree::Stack) — to the three abstract operations the
+//! scenarios are written in terms of ([`WorkloadOps`]): `read`, `write` and
+//! `rmw` (read-modify-write).  A [`BackendSpec`] is a named factory that
+//! builds a fresh, correctly-sized instance for every measurement cell, so
+//! that repetitions never observe each other's state.
+//!
+//! [`standard_backends`] is the roster the E7 experiment sweeps: every
+//! `LlScObject` implementation in `aba-core` (Figure 3's single-CAS object,
+//! the announce-array object, and Moir's construction at three tag widths)
+//! plus every Treiber-stack variant in `aba-lockfree` (unprotected, tagged,
+//! hazard-protected and LL/SC-headed).
+
+use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
+use aba_lockfree::{stack_builders, Stack, StackHandle};
+use aba_spec::{LlScHandle, LlScObject};
+
+/// A shared object adapted to the scenario vocabulary, sized for a fixed
+/// number of worker threads.
+pub trait Workload: Send + Sync {
+    /// Number of worker threads the instance was built for.
+    fn threads(&self) -> usize;
+
+    /// Obtain the per-thread operation handle for `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `tid >= self.threads()`.
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_>;
+}
+
+/// Per-thread operations a scenario can issue against a [`Workload`].
+///
+/// Each method is one *logical* operation (one unit in the op counters);
+/// internal retry loops of lock-free backends are deliberately not exposed.
+pub trait WorkloadOps: Send {
+    /// Observe the shared state (LL/VL for LL/SC objects, pop for stacks).
+    fn read(&mut self);
+
+    /// Publish `value` (LL+SC retry loop for LL/SC objects, push for stacks).
+    fn write(&mut self, value: u32);
+
+    /// Read-modify-write round trip (LL, then SC of a derived value for
+    /// LL/SC objects; push immediately followed by pop for stacks).
+    fn rmw(&mut self, value: u32);
+}
+
+// ---------------------------------------------------------------------------
+// LL/SC adapter
+// ---------------------------------------------------------------------------
+
+/// [`Workload`] over any [`LlScObject`].
+pub struct LlScWorkload {
+    obj: Box<dyn LlScObject>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for LlScWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LlScWorkload")
+            .field("name", &self.obj.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl LlScWorkload {
+    /// Wrap `obj`, which must have been created for at least `threads`
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj.processes() < threads`.
+    pub fn new(obj: Box<dyn LlScObject>, threads: usize) -> Self {
+        assert!(
+            obj.processes() >= threads,
+            "object too small for {threads} threads"
+        );
+        LlScWorkload { obj, threads }
+    }
+}
+
+impl Workload for LlScWorkload {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        Box::new(LlScOps {
+            handle: self.obj.handle(tid),
+        })
+    }
+}
+
+struct LlScOps<'a> {
+    handle: Box<dyn LlScHandle + 'a>,
+}
+
+impl WorkloadOps for LlScOps<'_> {
+    fn read(&mut self) {
+        std::hint::black_box(self.handle.ll());
+        std::hint::black_box(self.handle.vl());
+    }
+
+    fn write(&mut self, value: u32) {
+        // Lock-free retry: an SC fails only because some other SC succeeded,
+        // so with finitely many competing operations this loop terminates.
+        loop {
+            self.handle.ll();
+            if self.handle.sc(value) {
+                return;
+            }
+        }
+    }
+
+    fn rmw(&mut self, value: u32) {
+        loop {
+            let old = self.handle.ll();
+            if self.handle.sc(old.wrapping_add(value)) {
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stack adapter
+// ---------------------------------------------------------------------------
+
+/// [`Workload`] over any Treiber-stack variant.
+pub struct StackWorkload {
+    stack: Box<dyn Stack>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for StackWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackWorkload")
+            .field("name", &self.stack.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl StackWorkload {
+    /// Wrap `stack` for use by `threads` threads.
+    pub fn new(stack: Box<dyn Stack>, threads: usize) -> Self {
+        StackWorkload { stack, threads }
+    }
+}
+
+impl Workload for StackWorkload {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        Box::new(StackOps {
+            handle: self.stack.handle(tid),
+        })
+    }
+}
+
+struct StackOps<'a> {
+    handle: Box<dyn StackHandle + 'a>,
+}
+
+impl WorkloadOps for StackOps<'_> {
+    fn read(&mut self) {
+        std::hint::black_box(self.handle.pop());
+    }
+
+    fn write(&mut self, value: u32) {
+        if !self.handle.push(value) {
+            // Arena exhausted: make room (keeps write-heavy scenarios from
+            // degenerating into no-ops once the stack fills).
+            std::hint::black_box(self.handle.pop());
+            std::hint::black_box(self.handle.push(value));
+        }
+    }
+
+    fn rmw(&mut self, value: u32) {
+        let _ = self.handle.push(value);
+        std::hint::black_box(self.handle.pop());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named factory building a fresh [`Workload`] sized for a given thread
+/// count — one instance per (scenario × backend × threads × repetition) cell.
+pub struct BackendSpec {
+    name: &'static str,
+    build: Box<dyn Fn(usize) -> Box<dyn Workload> + Send + Sync>,
+}
+
+impl std::fmt::Debug for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendSpec")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl BackendSpec {
+    /// A new spec from a name and a `threads -> Workload` factory.
+    pub fn new(
+        name: &'static str,
+        build: impl Fn(usize) -> Box<dyn Workload> + Send + Sync + 'static,
+    ) -> Self {
+        BackendSpec {
+            name,
+            build: Box::new(build),
+        }
+    }
+
+    /// The backend's display name (stable across runs; used as the JSON key).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Build a fresh instance for `threads` worker threads.
+    pub fn build(&self, threads: usize) -> Box<dyn Workload> {
+        (self.build)(threads)
+    }
+}
+
+/// Node-arena capacity for the stack backends, scaled with the thread count
+/// so that churn scenarios always have headroom but recycling stays hot.
+fn stack_capacity(threads: usize) -> usize {
+    64 + 16 * threads
+}
+
+/// The standard E7 backend roster: every LL/SC implementation (Moir at tag
+/// widths 8, 16 and 32) plus every Treiber-stack variant.
+pub fn standard_backends() -> Vec<BackendSpec> {
+    let mut specs: Vec<BackendSpec> = vec![
+        BackendSpec::new("llsc/cas (Fig 3)", |t| {
+            Box::new(LlScWorkload::new(Box::new(CasLlSc::new(t)), t))
+        }),
+        BackendSpec::new("llsc/announce", |t| {
+            Box::new(LlScWorkload::new(Box::new(AnnounceLlSc::new(t)), t))
+        }),
+        BackendSpec::new("llsc/moir tag32", |t| {
+            Box::new(LlScWorkload::new(
+                Box::new(MoirLlSc::with_tag_bits(t, 32)),
+                t,
+            ))
+        }),
+        BackendSpec::new("llsc/moir tag16", |t| {
+            Box::new(LlScWorkload::new(
+                Box::new(MoirLlSc::with_tag_bits(t, 16)),
+                t,
+            ))
+        }),
+        BackendSpec::new("llsc/moir tag8", |t| {
+            Box::new(LlScWorkload::new(
+                Box::new(MoirLlSc::with_tag_bits(t, 8)),
+                t,
+            ))
+        }),
+    ];
+    for (name, builder) in stack_builders() {
+        specs.push(BackendSpec::new(name, move |t| {
+            Box::new(StackWorkload::new(builder(stack_capacity(t), t), t))
+        }));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_nine_distinct_backends() {
+        let specs = standard_backends();
+        assert_eq!(specs.len(), 9);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn every_backend_builds_and_runs_every_op() {
+        for spec in standard_backends() {
+            let w = spec.build(2);
+            assert_eq!(w.threads(), 2);
+            let mut ops = w.worker(1);
+            ops.write(5);
+            ops.read();
+            ops.rmw(1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_tid_is_bounds_checked() {
+        let spec = &standard_backends()[0];
+        let w = spec.build(1);
+        let _ = w.worker(1);
+    }
+}

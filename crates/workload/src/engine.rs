@@ -1,0 +1,355 @@
+//! The measurement engine: sharded worker threads, warmup, median-of-k
+//! repetitions, merged per-thread counters and latency percentiles.
+//!
+//! One *cell* is a (scenario × backend × thread-count) triple.  For each
+//! cell the engine builds a fresh backend instance, runs one untimed warmup
+//! round, then `repetitions` timed rounds; every round spawns one real
+//! `std::thread` per worker, each following its scenario script and keeping
+//! *private* counters (operations done, sampled latencies) that are merged
+//! only after the round's threads have joined — no shared measurement state
+//! pollutes the thing being measured.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use crate::backend::BackendSpec;
+use crate::scenario::{Op, Scenario};
+
+/// Engine configuration: the swept thread counts and the per-cell effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Thread counts the matrix sweeps (each must be ≥ 1).
+    pub thread_counts: Vec<usize>,
+    /// Timed operations per worker thread per repetition.
+    pub ops_per_thread: usize,
+    /// Untimed warmup operations per worker thread (one round per cell).
+    pub warmup_ops_per_thread: usize,
+    /// Timed repetitions per cell; the reported throughput is the median.
+    pub repetitions: usize,
+    /// Sample the latency of every `latency_sample_period`-th operation
+    /// (must be ≥ 1; 1 samples every operation).
+    pub latency_sample_period: usize,
+}
+
+impl EngineConfig {
+    /// The full E7 configuration: threads 1/2/4/8, median of 3 repetitions.
+    pub fn standard() -> Self {
+        EngineConfig {
+            thread_counts: vec![1, 2, 4, 8],
+            ops_per_thread: 8_000,
+            warmup_ops_per_thread: 1_000,
+            repetitions: 3,
+            latency_sample_period: 16,
+        }
+    }
+
+    /// A CI-sized configuration (`table_throughput --quick`): threads 1/2/4,
+    /// ~10× fewer operations, 2 repetitions.
+    pub fn quick() -> Self {
+        EngineConfig {
+            thread_counts: vec![1, 2, 4],
+            ops_per_thread: 800,
+            warmup_ops_per_thread: 100,
+            repetitions: 2,
+            latency_sample_period: 8,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.thread_counts.is_empty(),
+            "need at least one thread count"
+        );
+        assert!(
+            self.thread_counts.iter().all(|&t| t > 0),
+            "thread counts must be ≥ 1"
+        );
+        assert!(self.ops_per_thread > 0, "ops_per_thread must be ≥ 1");
+        assert!(self.repetitions > 0, "repetitions must be ≥ 1");
+        assert!(
+            self.latency_sample_period > 0,
+            "latency_sample_period must be ≥ 1"
+        );
+    }
+}
+
+/// Measured result of one (scenario × backend × thread-count) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend name.
+    pub backend: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations per timed repetition — `threads × ops_per_thread`, a pure
+    /// function of the configuration (the determinism tests assert this).
+    pub ops_per_rep: u64,
+    /// Median operations per second across the repetitions.
+    pub ops_per_sec: f64,
+    /// 50th-percentile sampled operation latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile sampled operation latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Number of timed repetitions behind the median.
+    pub repetitions: usize,
+}
+
+/// The whole matrix: every cell plus the configuration that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixResult {
+    /// Configuration echo (for the JSON report and reproducibility).
+    pub config: EngineConfig,
+    /// One entry per (scenario × backend × thread-count), in sweep order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Counters one worker thread accumulates privately during a round, plus
+/// its start/finish timestamps (monotonic `Instant`s are comparable across
+/// threads).
+#[derive(Debug, Clone)]
+struct WorkerStats {
+    ops: u64,
+    started: Instant,
+    finished: Instant,
+    latencies_ns: Vec<u64>,
+}
+
+/// Result of one timed round: merged worker counters plus wall time.
+#[derive(Debug)]
+struct RoundStats {
+    ops: u64,
+    elapsed: Duration,
+    latencies_ns: Vec<u64>,
+}
+
+/// Run one round of `scenario` against `workload` with `threads` workers,
+/// `ops` operations each, sampling every `sample_period`-th latency.
+fn run_round(
+    workload: &dyn crate::backend::Workload,
+    scenario: Scenario,
+    threads: usize,
+    ops: usize,
+    sample_period: usize,
+) -> RoundStats {
+    // All workers rendezvous at a barrier before their first operation and
+    // timestamp their own start and finish, so thread spawn/join overhead
+    // never pollutes the numbers and no early-spawned worker runs its script
+    // uncontended.  The round's duration is the wall time of the work phase:
+    // last finish minus first start (correct even when the machine is
+    // oversubscribed and workers time-slice on fewer cores).
+    let barrier = Barrier::new(threads);
+    let barrier = &barrier;
+    let per_thread: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                s.spawn(move || {
+                    let mut worker = workload.worker(tid);
+                    let mut latencies_ns = Vec::new();
+                    let mut ops_done = 0u64;
+                    barrier.wait();
+                    let started = Instant::now();
+                    for i in 0..ops {
+                        let timer = (i % sample_period == 0).then(Instant::now);
+                        match scenario.op(tid, i) {
+                            Op::Read => worker.read(),
+                            Op::Write(v) => worker.write(v),
+                            Op::Rmw(v) => worker.rmw(v),
+                        }
+                        if let Some(t0) = timer {
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        ops_done += 1;
+                    }
+                    WorkerStats {
+                        ops: ops_done,
+                        started,
+                        finished: Instant::now(),
+                        latencies_ns,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let first_start = per_thread
+        .iter()
+        .map(|s| s.started)
+        .min()
+        .expect("threads ≥ 1");
+    let last_finish = per_thread
+        .iter()
+        .map(|s| s.finished)
+        .max()
+        .expect("threads ≥ 1");
+    let mut merged = RoundStats {
+        ops: 0,
+        elapsed: last_finish.duration_since(first_start),
+        latencies_ns: Vec::new(),
+    };
+    for stats in per_thread {
+        merged.ops += stats.ops;
+        merged.latencies_ns.extend(stats.latencies_ns);
+    }
+    merged
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN throughput"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 - 1) * pct / 100;
+    sorted[rank as usize]
+}
+
+/// Measure one cell: warmup round, then `config.repetitions` timed rounds on
+/// a fresh backend instance, merging counters and pooling latency samples.
+pub fn run_cell(
+    scenario: Scenario,
+    backend: &BackendSpec,
+    threads: usize,
+    config: &EngineConfig,
+) -> CellResult {
+    config.validate();
+    let workload = backend.build(threads);
+    if config.warmup_ops_per_thread > 0 {
+        run_round(
+            workload.as_ref(),
+            scenario,
+            threads,
+            config.warmup_ops_per_thread,
+            config.latency_sample_period,
+        );
+    }
+    let mut throughputs = Vec::with_capacity(config.repetitions);
+    let mut pooled_latencies = Vec::new();
+    let mut ops_per_rep = 0u64;
+    for _ in 0..config.repetitions {
+        // A fresh instance per repetition: repetitions must not observe each
+        // other's residual state (a half-full stack, a drifted tag).
+        let workload = backend.build(threads);
+        let round = run_round(
+            workload.as_ref(),
+            scenario,
+            threads,
+            config.ops_per_thread,
+            config.latency_sample_period,
+        );
+        assert_eq!(
+            round.ops,
+            (threads * config.ops_per_thread) as u64,
+            "op accounting must be deterministic"
+        );
+        ops_per_rep = round.ops;
+        throughputs.push(round.ops as f64 / round.elapsed.as_secs_f64().max(1e-9));
+        pooled_latencies.extend(round.latencies_ns);
+    }
+    pooled_latencies.sort_unstable();
+    CellResult {
+        scenario: scenario.name().to_string(),
+        backend: backend.name().to_string(),
+        threads,
+        ops_per_rep,
+        ops_per_sec: median(throughputs),
+        p50_ns: percentile(&pooled_latencies, 50),
+        p99_ns: percentile(&pooled_latencies, 99),
+        repetitions: config.repetitions,
+    }
+}
+
+/// Sweep the whole matrix: every scenario × every backend × every configured
+/// thread count, in that nesting order.
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    backends: &[BackendSpec],
+    config: &EngineConfig,
+) -> MatrixResult {
+    config.validate();
+    let mut cells =
+        Vec::with_capacity(scenarios.len() * backends.len() * config.thread_counts.len());
+    for scenario in scenarios {
+        for backend in backends {
+            for &threads in &config.thread_counts {
+                cells.push(run_cell(*scenario, backend, threads, config));
+            }
+        }
+    }
+    MatrixResult {
+        config: config.clone(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::standard_backends;
+    use crate::scenario::standard_scenarios;
+
+    fn tiny_config() -> EngineConfig {
+        EngineConfig {
+            thread_counts: vec![1, 2],
+            ops_per_thread: 120,
+            warmup_ops_per_thread: 16,
+            repetitions: 2,
+            latency_sample_period: 4,
+        }
+    }
+
+    #[test]
+    fn cell_counts_ops_deterministically() {
+        let backends = standard_backends();
+        let scenario = standard_scenarios()[0];
+        let cell = run_cell(scenario, &backends[1], 2, &tiny_config());
+        assert_eq!(cell.ops_per_rep, 240);
+        assert!(cell.ops_per_sec > 0.0);
+        assert!(cell.p50_ns <= cell.p99_ns);
+    }
+
+    #[test]
+    fn matrix_covers_the_full_cross_product() {
+        let scenarios = &standard_scenarios()[..2];
+        let backends: Vec<_> = standard_backends().into_iter().take(2).collect();
+        let result = run_matrix(scenarios, &backends, &tiny_config());
+        assert_eq!(result.cells.len(), 2 * 2 * 2);
+        for cell in &result.cells {
+            assert_eq!(cell.ops_per_rep, (cell.threads * 120) as u64);
+        }
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[], 99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetitions")]
+    fn zero_repetitions_are_rejected() {
+        let mut config = tiny_config();
+        config.repetitions = 0;
+        let backends = standard_backends();
+        let _ = run_cell(standard_scenarios()[0], &backends[0], 1, &config);
+    }
+}

@@ -1,0 +1,47 @@
+//! # aba-workload
+//!
+//! The multi-threaded workload engine behind experiment E7: a deterministic
+//! [scenario](scenario::Scenario) registry crossed with a
+//! [backend](backend::BackendSpec) matrix over every `LlScObject`
+//! implementation and every Treiber-stack variant, swept across thread
+//! counts by a measurement [engine](engine::run_matrix) (warmup,
+//! median-of-k repetitions, per-thread counters merged after join, p50/p99
+//! latency sampling), with results rendered as aligned text tables and a
+//! machine-readable `BENCH_throughput.json` ([report]).
+//!
+//! The paper has no wall-clock claims; what the matrix makes reproducible is
+//! the *shape*: O(1)-step implementations (announce-array, Moir, tagging)
+//! sustain their rate as threads grow, the O(n)-step Figure 3 object
+//! degrades fastest under contention, and the unprotected stack is fast but
+//! wrong (its correctness story is E6's, not E7's).
+//!
+//! ```
+//! use aba_workload::{run_cell, standard_backends, standard_scenarios, EngineConfig};
+//!
+//! let config = EngineConfig {
+//!     thread_counts: vec![2],
+//!     ops_per_thread: 100,
+//!     warmup_ops_per_thread: 10,
+//!     repetitions: 1,
+//!     latency_sample_period: 8,
+//! };
+//! let backends = standard_backends();
+//! let cell = run_cell(standard_scenarios()[0], &backends[1], 2, &config);
+//! assert_eq!(cell.ops_per_rep, 200); // threads × ops_per_thread, always
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod engine;
+pub mod report;
+pub mod scenario;
+
+pub use backend::{
+    standard_backends, BackendSpec, LlScWorkload, StackWorkload, Workload, WorkloadOps,
+};
+pub use engine::{run_cell, run_matrix, CellResult, EngineConfig, MatrixResult};
+pub use report::{render_tables, to_json, JSON_SCHEMA};
+pub use scenario::{standard_scenarios, Op, Scenario};

@@ -1,0 +1,255 @@
+//! Rendering a [`MatrixResult`](crate::engine::MatrixResult): aligned
+//! plain-text tables (one per scenario) and the machine-readable
+//! `BENCH_throughput.json` document.
+//!
+//! The JSON is hand-rolled (the workspace builds offline, without serde);
+//! [`to_json`] emits a stable, versioned schema so downstream tooling can
+//! track the repository's performance trajectory across commits.
+
+use crate::engine::{CellResult, EngineConfig, MatrixResult};
+
+// ---------------------------------------------------------------------------
+// Plain text
+// ---------------------------------------------------------------------------
+
+fn render_aligned(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn human_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+/// Render one aligned table per scenario: rows are backends, columns are
+/// thread counts (ops/s) plus the p50/p99 latency at the highest thread
+/// count.
+pub fn render_tables(result: &MatrixResult) -> String {
+    let mut scenarios: Vec<&str> = Vec::new();
+    for cell in &result.cells {
+        if !scenarios.contains(&cell.scenario.as_str()) {
+            scenarios.push(&cell.scenario);
+        }
+    }
+    let max_threads = result
+        .config
+        .thread_counts
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1);
+
+    let mut out = String::new();
+    for scenario in scenarios {
+        let cells: Vec<&CellResult> = result
+            .cells
+            .iter()
+            .filter(|c| c.scenario == scenario)
+            .collect();
+        let mut backends: Vec<&str> = Vec::new();
+        for cell in &cells {
+            if !backends.contains(&cell.backend.as_str()) {
+                backends.push(&cell.backend);
+            }
+        }
+
+        let mut header: Vec<String> = vec!["backend".to_string()];
+        for t in &result.config.thread_counts {
+            header.push(format!("{t} thr (ops/s)"));
+        }
+        header.push(format!("p50@{max_threads}thr"));
+        header.push(format!("p99@{max_threads}thr"));
+
+        let mut rows = Vec::new();
+        for backend in backends {
+            let mut row = vec![backend.to_string()];
+            for &t in &result.config.thread_counts {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.backend == backend && c.threads == t)
+                    .expect("matrix is a full cross product");
+                row.push(human_rate(cell.ops_per_sec));
+            }
+            let top = cells
+                .iter()
+                .find(|c| c.backend == backend && c.threads == max_threads)
+                .expect("matrix is a full cross product");
+            row.push(format!("{}ns", top.p50_ns));
+            row.push(format!("{}ns", top.p99_ns));
+            rows.push(row);
+        }
+
+        out.push_str(&format!("== E7 scenario: {scenario} ==\n"));
+        out.push_str(&render_aligned(&header, &rows));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// Schema identifier embedded in every document [`to_json`] produces.
+pub const JSON_SCHEMA: &str = "aba-repro/bench-throughput/v1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn config_json(config: &EngineConfig) -> String {
+    let threads: Vec<String> = config.thread_counts.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\"thread_counts\":[{}],\"ops_per_thread\":{},\"warmup_ops_per_thread\":{},\"repetitions\":{},\"latency_sample_period\":{}}}",
+        threads.join(","),
+        config.ops_per_thread,
+        config.warmup_ops_per_thread,
+        config.repetitions,
+        config.latency_sample_period,
+    )
+}
+
+fn cell_json(cell: &CellResult) -> String {
+    format!(
+        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\"ops_per_rep\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{},\"repetitions\":{}}}",
+        json_escape(&cell.scenario),
+        json_escape(&cell.backend),
+        cell.threads,
+        cell.ops_per_rep,
+        json_f64(cell.ops_per_sec),
+        cell.p50_ns,
+        cell.p99_ns,
+        cell.repetitions,
+    )
+}
+
+/// Serialise the whole matrix as one JSON document (`BENCH_throughput.json`).
+pub fn to_json(result: &MatrixResult) -> String {
+    let cells: Vec<String> = result.cells.iter().map(cell_json).collect();
+    format!(
+        "{{\n\"schema\":\"{}\",\n\"config\":{},\n\"cells\":[\n{}\n]\n}}\n",
+        JSON_SCHEMA,
+        config_json(&result.config),
+        cells.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> MatrixResult {
+        let config = EngineConfig {
+            thread_counts: vec![1, 2],
+            ops_per_thread: 10,
+            warmup_ops_per_thread: 1,
+            repetitions: 1,
+            latency_sample_period: 1,
+        };
+        let mut cells = Vec::new();
+        for scenario in ["churn", "rmw-storm"] {
+            for backend in ["llsc/announce", "stack/tagged"] {
+                for threads in [1usize, 2] {
+                    cells.push(CellResult {
+                        scenario: scenario.to_string(),
+                        backend: backend.to_string(),
+                        threads,
+                        ops_per_rep: (threads * 10) as u64,
+                        ops_per_sec: 1234.5,
+                        p50_ns: 40,
+                        p99_ns: 90,
+                        repetitions: 1,
+                    });
+                }
+            }
+        }
+        MatrixResult { config, cells }
+    }
+
+    #[test]
+    fn tables_have_one_section_per_scenario() {
+        let text = render_tables(&sample_result());
+        assert!(text.contains("== E7 scenario: churn =="));
+        assert!(text.contains("== E7 scenario: rmw-storm =="));
+        assert!(text.contains("llsc/announce"));
+        assert!(text.contains("p99@2thr"));
+    }
+
+    #[test]
+    fn json_contains_schema_config_and_every_cell() {
+        let json = to_json(&sample_result());
+        assert!(json.contains(JSON_SCHEMA));
+        assert!(json.contains("\"thread_counts\":[1,2]"));
+        assert_eq!(json.matches("\"scenario\":").count(), 8);
+        // Structural sanity: balanced braces and brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn rates_render_human_readably() {
+        assert_eq!(human_rate(2_500_000.0), "2.50M");
+        assert_eq!(human_rate(12_300.0), "12.3k");
+        assert_eq!(human_rate(42.0), "42");
+    }
+
+    #[test]
+    fn non_finite_rates_serialise_as_zero() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.500");
+    }
+}

@@ -1,0 +1,192 @@
+//! The scenario side of the matrix: deterministic per-thread op scripts.
+//!
+//! A [`Scenario`] maps `(tid, i)` — worker thread id and operation index — to
+//! one abstract [`Op`].  The mapping is a pure function, so a cell's total op
+//! count depends only on its configuration (threads × ops per thread), never
+//! on scheduling: two runs of the same configuration perform identical
+//! operation sequences per thread.  That determinism is what makes the
+//! matrix results comparable across backends and repetitions.
+
+/// One abstract operation a scenario issues against a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Observe the shared state.
+    Read,
+    /// Publish a value.
+    Write(u32),
+    /// Read-modify-write round trip.
+    Rmw(u32),
+}
+
+/// The traffic shapes the E7 matrix sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Every thread alternates write and read: stack push/pop churn, the
+    /// pattern that recycles nodes fastest (E6's ABA pressure cooker).
+    Churn,
+    /// Even threads pulse writes (signal / reset alternation), odd threads
+    /// poll: the §1 event-signalling shape.
+    SignalWait,
+    /// Every thread runs read-modify-write loops back to back: a CAS storm
+    /// on one word (counter increments).
+    RmwStorm,
+    /// 90% reads, 10% writes: the read-mostly regime where validation cost
+    /// dominates.
+    ReadHeavy,
+    /// 90% writes, 10% reads: the publish-mostly regime where SC/CAS retry
+    /// cost dominates.
+    WriteHeavy,
+    /// Every thread read-modify-writes the *same* value forever, so the
+    /// shared word keeps returning to an identical state — the pathological
+    /// same-slot contention that maximises ABA opportunity.
+    SameSlot,
+}
+
+/// A named, deterministic traffic shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    kind: Kind,
+}
+
+impl Scenario {
+    /// Stable display name (also the JSON key).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for tables and docs.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The operation thread `tid` performs at index `i` — a pure function of
+    /// its arguments.
+    pub fn op(&self, tid: usize, i: usize) -> Op {
+        match self.kind {
+            Kind::Churn => {
+                if i.is_multiple_of(2) {
+                    Op::Write((i & 0xFFFF) as u32)
+                } else {
+                    Op::Read
+                }
+            }
+            Kind::SignalWait => {
+                if tid.is_multiple_of(2) {
+                    // signal (1) / reset (0) alternation
+                    Op::Write((i % 2) as u32)
+                } else {
+                    Op::Read
+                }
+            }
+            Kind::RmwStorm => Op::Rmw(1),
+            Kind::ReadHeavy => {
+                if i.is_multiple_of(10) {
+                    Op::Write((i & 0xFFFF) as u32)
+                } else {
+                    Op::Read
+                }
+            }
+            Kind::WriteHeavy => {
+                if i % 10 == 9 {
+                    Op::Read
+                } else {
+                    Op::Write((i & 0xFFFF) as u32)
+                }
+            }
+            Kind::SameSlot => Op::Rmw(0),
+        }
+    }
+}
+
+/// The standard E7 scenario roster, in display order.
+pub fn standard_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "churn",
+            description: "alternating write/read pairs (stack push/pop churn)",
+            kind: Kind::Churn,
+        },
+        Scenario {
+            name: "signal-wait",
+            description: "even threads pulse signal/reset, odd threads poll",
+            kind: Kind::SignalWait,
+        },
+        Scenario {
+            name: "rmw-storm",
+            description: "back-to-back read-modify-writes (counter CAS storm)",
+            kind: Kind::RmwStorm,
+        },
+        Scenario {
+            name: "read-heavy",
+            description: "90% reads / 10% writes",
+            kind: Kind::ReadHeavy,
+        },
+        Scenario {
+            name: "write-heavy",
+            description: "90% writes / 10% reads",
+            kind: Kind::WriteHeavy,
+        },
+        Scenario {
+            name: "same-slot",
+            description: "all threads RMW an identical value (pathological same-slot contention)",
+            kind: Kind::SameSlot,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_six_distinct_scenarios() {
+        let roster = standard_scenarios();
+        assert_eq!(roster.len(), 6);
+        let mut names: Vec<_> = roster.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn op_scripts_are_pure_functions() {
+        for scenario in standard_scenarios() {
+            for tid in 0..4 {
+                for i in 0..64 {
+                    assert_eq!(
+                        scenario.op(tid, i),
+                        scenario.op(tid, i),
+                        "{}",
+                        scenario.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratios_match_the_descriptions() {
+        let roster = standard_scenarios();
+        let read_heavy = roster.iter().find(|s| s.name() == "read-heavy").unwrap();
+        let reads = (0..100)
+            .filter(|&i| read_heavy.op(0, i) == Op::Read)
+            .count();
+        assert_eq!(reads, 90);
+
+        let write_heavy = roster.iter().find(|s| s.name() == "write-heavy").unwrap();
+        let writes = (0..100)
+            .filter(|&i| matches!(write_heavy.op(0, i), Op::Write(_)))
+            .count();
+        assert_eq!(writes, 90);
+    }
+
+    #[test]
+    fn signal_wait_splits_roles_by_parity() {
+        let roster = standard_scenarios();
+        let sw = roster.iter().find(|s| s.name() == "signal-wait").unwrap();
+        assert!(matches!(sw.op(0, 3), Op::Write(_)));
+        assert_eq!(sw.op(1, 3), Op::Read);
+    }
+}

@@ -1,0 +1,64 @@
+//! Determinism guarantees of the workload engine: a configuration fully
+//! determines the operations performed — two runs of the same config produce
+//! identical op counts in every cell, and the JSON report is structurally
+//! valid.
+
+use aba_workload::{
+    run_matrix, standard_backends, standard_scenarios, to_json, EngineConfig, JSON_SCHEMA,
+};
+
+fn small_config() -> EngineConfig {
+    EngineConfig {
+        thread_counts: vec![1, 2],
+        ops_per_thread: 150,
+        warmup_ops_per_thread: 20,
+        repetitions: 2,
+        latency_sample_period: 8,
+    }
+}
+
+#[test]
+fn two_runs_of_the_same_config_count_identical_ops() {
+    let scenarios = standard_scenarios();
+    let backends = standard_backends();
+    let config = small_config();
+
+    let first = run_matrix(&scenarios, &backends, &config);
+    let second = run_matrix(&scenarios, &backends, &config);
+
+    assert_eq!(first.cells.len(), second.cells.len());
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.threads, b.threads);
+        assert_eq!(
+            a.ops_per_rep, b.ops_per_rep,
+            "{}/{}@{}: op counts must be deterministic",
+            a.scenario, a.backend, a.threads
+        );
+        // And the count is the closed-form value, not a measurement.
+        assert_eq!(a.ops_per_rep, (a.threads * config.ops_per_thread) as u64);
+    }
+}
+
+#[test]
+fn matrix_shape_matches_the_rosters() {
+    let scenarios = standard_scenarios();
+    let backends = standard_backends();
+    let config = small_config();
+    let result = run_matrix(&scenarios[..2], &backends[..3], &config);
+    assert_eq!(result.cells.len(), 2 * 3 * config.thread_counts.len());
+}
+
+#[test]
+fn json_report_is_structurally_sound() {
+    let scenarios = standard_scenarios();
+    let backends = standard_backends();
+    let result = run_matrix(&scenarios[..1], &backends[..2], &small_config());
+    let json = to_json(&result);
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains(JSON_SCHEMA));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert_eq!(json.matches("\"scenario\":").count(), result.cells.len());
+}

@@ -15,7 +15,9 @@
 //!   time–space tradeoff table;
 //! * [`hazard`] — hazard pointers;
 //! * [`lockfree`] — Treiber stacks with pluggable ABA protection and the
-//!   event-signal scenario.
+//!   event-signal scenario;
+//! * [`workload`] — the multi-threaded workload engine (experiment E7):
+//!   scenario × backend × thread-count throughput and latency matrix.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -29,6 +31,7 @@ pub use aba_lockfree as lockfree;
 pub use aba_lowerbound as lowerbound;
 pub use aba_sim as sim;
 pub use aba_spec as spec;
+pub use aba_workload as workload;
 
 // The most commonly used items, re-exported at the top level for quickstart
 // ergonomics.

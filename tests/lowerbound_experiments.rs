@@ -4,6 +4,7 @@
 
 use aba_repro::lowerbound::{
     llsc_tradeoff_rows, register_tradeoff_rows, run_covering_experiment, witness_report,
+    SearchBudget,
 };
 use aba_repro::sim::algorithms::fig4::Fig4Sim;
 use aba_repro::sim::search_weak_violation;
@@ -21,10 +22,19 @@ fn covering_experiment_matches_lemma1_structure() {
 
 #[test]
 fn witness_roster_separates_correct_from_underprovisioned() {
-    let reports = witness_report(4, 250, 2024);
+    let budget = SearchBudget::new(250, 2024);
+    let reports = witness_report(4, budget);
     let (correct, broken): (Vec<_>, Vec<_>) = reports.iter().partition(|r| r.expected_correct);
     assert!(correct.iter().all(|r| !r.outcome.is_violated()));
     assert!(broken.iter().all(|r| r.outcome.is_violated()));
+    // Survivors consume the whole budget; violators report how much of it
+    // they actually needed.
+    assert!(correct
+        .iter()
+        .all(|r| r.outcome.trials_used() == budget.trials));
+    assert!(broken
+        .iter()
+        .all(|r| r.outcome.trials_used() <= budget.trials));
 }
 
 #[test]

@@ -1,9 +1,13 @@
 //! Integration tests for the ABA-motivated workloads (E6 and the §1
-//! event-signal scenario) running on top of the core algorithms.
+//! event-signal scenario) running on top of the core algorithms, plus the
+//! E7 workload engine driven through the facade.
 
 use aba_repro::core::BoundedAbaRegister;
 use aba_repro::lockfree::{
     all_stacks, stress_stack, EventSignal, HazardStack, LlScStack, NaiveEventSignal, TaggedStack,
+};
+use aba_repro::workload::{
+    run_cell, run_matrix, standard_backends, standard_scenarios, EngineConfig,
 };
 
 #[test]
@@ -53,6 +57,41 @@ fn event_signal_scenario_from_the_introduction() {
     naive.signal();
     naive.reset();
     assert!(!naive_waiter.poll(), "the naive waiter misses the pulse");
+}
+
+#[test]
+fn workload_engine_runs_through_the_facade() {
+    let config = EngineConfig {
+        thread_counts: vec![1, 2],
+        ops_per_thread: 200,
+        warmup_ops_per_thread: 20,
+        repetitions: 1,
+        latency_sample_period: 8,
+    };
+    let scenarios = standard_scenarios();
+    let backends = standard_backends();
+    let result = run_matrix(&scenarios[..2], &backends[..2], &config);
+    assert_eq!(result.cells.len(), 2 * 2 * 2);
+    for cell in &result.cells {
+        assert_eq!(cell.ops_per_rep, (cell.threads * 200) as u64);
+        assert!(cell.ops_per_sec > 0.0);
+    }
+}
+
+#[test]
+fn workload_engine_op_counts_are_reproducible() {
+    let config = EngineConfig {
+        thread_counts: vec![2],
+        ops_per_thread: 300,
+        warmup_ops_per_thread: 0,
+        repetitions: 2,
+        latency_sample_period: 16,
+    };
+    let scenario = standard_scenarios()[2]; // rmw-storm
+    let backends = standard_backends();
+    let a = run_cell(scenario, &backends[0], 2, &config);
+    let b = run_cell(scenario, &backends[0], 2, &config);
+    assert_eq!(a.ops_per_rep, b.ops_per_rep);
 }
 
 #[test]
