@@ -1,19 +1,20 @@
-//! Experiment E7: the scenario × backend × thread-count throughput matrix,
-//! driven by the `aba-workload` engine.
+//! Experiments E7 and E8: the scenario × backend × thread-count throughput
+//! matrix, driven by the `aba-workload` engine.
 //!
-//! Six traffic shapes (stack churn, event signal/wait, counter CAS storms,
-//! read-heavy, write-heavy, pathological same-slot contention) crossed with
-//! every `LlScObject` implementation (Figure 3's single CAS, the
-//! announce-array object, Moir at tag widths 8/16/32) and every
-//! Treiber-stack variant (unprotected, tagged, hazard-protected, LL/SC
-//! head), each swept across thread counts with warmup and median-of-k
-//! repetitions.
+//! Eight traffic shapes (stack churn, event signal/wait, counter CAS
+//! storms, read-heavy, write-heavy, pathological same-slot contention, plus
+//! the role-asymmetric producer-consumer and pipeline hand-offs) crossed
+//! with every `LlScObject` implementation (Figure 3's single CAS, the
+//! announce-array object, Moir at tag widths 8/16/32), every Treiber-stack
+//! variant and every MS-queue variant (unprotected, tagged,
+//! hazard-protected, LL/SC), each swept across thread counts with warmup
+//! and median-of-k repetitions.
 //!
 //! Absolute numbers depend on the machine; the reproducible *shape* is that
 //! the O(1)-step implementations sustain their rate as the thread count
 //! grows while the O(n)-step Figure 3 object degrades fastest under
-//! contention, and that the unprotected stack buys its speed with the
-//! incorrectness E6 quantifies.
+//! contention, and that the unprotected stack and queue buy their speed
+//! with the incorrectness E6 and E8 quantify.
 //!
 //! Run with `cargo run -p aba-bench --bin table_throughput --release`.
 //! Flags: `--quick` (CI-sized sweep), `--out <path>` (JSON destination,
@@ -41,7 +42,7 @@ fn main() {
     let scenarios = standard_scenarios();
     let backends = standard_backends();
     eprintln!(
-        "E7 matrix: {} scenarios x {} backends x {:?} threads, {} ops/thread, median of {}{}",
+        "E7/E8 matrix: {} scenarios x {} backends x {:?} threads, {} ops/thread, median of {}{}",
         scenarios.len(),
         backends.len(),
         config.thread_counts,
@@ -52,7 +53,7 @@ fn main() {
 
     let result = run_matrix(&scenarios, &backends, &config);
     println!("{}", render_tables(&result));
-    println!("Expected shape: constant-step implementations sustain their rate as threads grow; the Figure 3 single-CAS object degrades fastest under contention (its retry loop is Θ(n)); the unprotected stack is fast but incorrect (see table_aba_incidence).");
+    println!("Expected shape: constant-step implementations sustain their rate as threads grow; the Figure 3 single-CAS object degrades fastest under contention (its retry loop is Θ(n)); the unprotected stack and queue are fast but incorrect (see table_aba_incidence and the E8 conservation tests).");
 
     std::fs::write(&out_path, to_json(&result))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Sentinel meaning "no handle protected".
 const EMPTY: u64 = u64::MAX;
@@ -48,6 +49,12 @@ pub const SCAN_THRESHOLD: usize = 64;
 #[derive(Debug)]
 pub struct HazardDomain {
     slots: Box<[AtomicU64]>,
+    /// Retired values whose owning handle was dropped before they could be
+    /// reclaimed (they were still protected at drop time, or the handle never
+    /// flushed).  The next scan by *any* handle adopts and reclaims them, so
+    /// no retired value is ever silently lost — see [`HazardHandle`]'s drop
+    /// contract.
+    orphans: Mutex<Vec<u64>>,
 }
 
 impl HazardDomain {
@@ -60,6 +67,7 @@ impl HazardDomain {
         assert!(n > 0, "need at least one thread");
         HazardDomain {
             slots: (0..n).map(|_| AtomicU64::new(EMPTY)).collect(),
+            orphans: Mutex::new(Vec::new()),
         }
     }
 
@@ -107,10 +115,26 @@ impl HazardDomain {
     pub fn scan_threshold(&self) -> usize {
         SCAN_THRESHOLD.max(2 * self.threads())
     }
+
+    /// Number of retired values orphaned by dropped handles and not yet
+    /// adopted by a scan.
+    pub fn orphan_len(&self) -> usize {
+        self.orphans.lock().expect("orphan lock poisoned").len()
+    }
 }
 
 /// Per-thread handle of a [`HazardDomain`]: one hazard slot plus a private
 /// retired list.
+///
+/// # Drop contract
+///
+/// Dropping a handle clears its hazard slot.  Retired values the handle has
+/// not reclaimed yet (use [`HazardHandle::flush`] or
+/// [`HazardHandle::take_retired`] first for explicit control) are *not*
+/// leaked: they move to the domain's orphan list and are adopted — and handed
+/// to the `free` callback — by the next scan any surviving handle performs.
+/// Callers whose `free` closures are handle-specific must therefore drain the
+/// retired list themselves before dropping.
 #[derive(Debug)]
 pub struct HazardHandle<'a> {
     domain: &'a HazardDomain,
@@ -173,19 +197,48 @@ impl HazardHandle<'_> {
         self.retired.len()
     }
 
+    /// Take ownership of the retired list without reclaiming it.  The caller
+    /// becomes responsible for the values (freeing them while another thread
+    /// still protects one reintroduces the ABA this domain exists to
+    /// prevent); ignoring the result re-creates the silent leak this method
+    /// was added to rule out.
+    #[must_use = "the caller owns these values now; dropping them leaks"]
+    pub fn take_retired(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.retired)
+    }
+
     fn scan(&mut self, mut free: impl FnMut(u64)) {
-        let protected: Vec<u64> = (0..self.domain.threads())
+        // Adopt values orphaned by dropped handles: reclamation responsibility
+        // transfers to whichever handle scans next (see the drop contract).
+        {
+            let mut orphans = self.domain.orphans.lock().expect("orphan lock poisoned");
+            self.retired.append(&mut orphans);
+        }
+        // Snapshot and sort the protectors once, so the membership test for
+        // each of the R retired values is O(log P) instead of O(P).
+        let mut protected: Vec<u64> = (0..self.domain.threads())
             .filter_map(|t| self.domain.protected_by(t))
             .collect();
+        protected.sort_unstable();
         let mut kept = Vec::with_capacity(self.retired.len());
         for value in self.retired.drain(..) {
-            if protected.contains(&value) {
+            if protected.binary_search(&value).is_ok() {
                 kept.push(value);
             } else {
                 free(value);
             }
         }
         self.retired = kept;
+    }
+}
+
+impl Drop for HazardHandle<'_> {
+    fn drop(&mut self) {
+        self.clear();
+        if !self.retired.is_empty() {
+            let mut orphans = self.domain.orphans.lock().expect("orphan lock poisoned");
+            orphans.append(&mut self.retired);
+        }
     }
 }
 
@@ -329,5 +382,94 @@ mod tests {
     fn small_domains_keep_the_constant_floor() {
         let d = HazardDomain::new(4);
         assert_eq!(d.scan_threshold(), SCAN_THRESHOLD);
+    }
+
+    #[test]
+    fn dropped_handle_orphans_its_retired_values_for_adoption() {
+        // Regression: dropping a handle with a non-empty retired list used to
+        // silently leak those values — no scan would ever see them again.
+        let d = HazardDomain::new(2);
+        {
+            let mut h = d.handle(0);
+            h.retire(5, |_| {});
+            h.retire(6, |_| {});
+        } // dropped without a flush
+        assert_eq!(d.orphan_len(), 2);
+        let mut adopter = d.handle(1);
+        let mut freed = Vec::new();
+        adopter.flush(|v| freed.push(v));
+        freed.sort_unstable();
+        assert_eq!(freed, vec![5, 6]);
+        assert_eq!(d.orphan_len(), 0);
+    }
+
+    #[test]
+    fn values_still_protected_at_drop_are_reclaimed_later_not_lost() {
+        let d = HazardDomain::new(3);
+        let protector = d.handle(0);
+        protector.protect(9);
+        {
+            let mut h = d.handle(1);
+            let mut freed = Vec::new();
+            h.retire(9, |v| freed.push(v));
+            h.flush(|v| freed.push(v));
+            assert!(freed.is_empty(), "9 is protected, flush must keep it");
+        } // handle dropped while 9 is still protected -> orphaned, not leaked
+        assert_eq!(d.orphan_len(), 1);
+        protector.clear();
+        let mut adopter = d.handle(2);
+        let mut freed = Vec::new();
+        adopter.flush(|v| freed.push(v));
+        assert_eq!(freed, vec![9]);
+    }
+
+    #[test]
+    fn dropping_a_handle_clears_its_hazard_slot() {
+        let d = HazardDomain::new(2);
+        {
+            let h = d.handle(0);
+            h.protect(3);
+            assert!(d.is_protected(3));
+        }
+        // The slot does not keep protecting a value nobody can ever clear.
+        assert!(!d.is_protected(3));
+    }
+
+    #[test]
+    fn take_retired_transfers_ownership() {
+        let d = HazardDomain::new(1);
+        let mut h = d.handle(0);
+        h.retire(1, |_| {});
+        h.retire(2, |_| {});
+        let taken = h.take_retired();
+        assert_eq!(taken, vec![1, 2]);
+        assert_eq!(h.retired_len(), 0);
+        drop(h);
+        // Nothing is orphaned: the caller owns the values now.
+        assert_eq!(d.orphan_len(), 0);
+    }
+
+    #[test]
+    fn scan_handles_duplicate_retirees_and_many_protectors() {
+        // Exercises the sorted-protector membership test: several protectors,
+        // retired values both protected and not, including duplicates (the
+        // broken stack can double-retire after an ABA).
+        let d = HazardDomain::new(8);
+        let protectors: Vec<_> = (0..7).map(|t| d.handle(t)).collect();
+        for (i, p) in protectors.iter().enumerate() {
+            p.protect(100 + i as u64);
+        }
+        let mut h = d.handle(7);
+        let mut freed = Vec::new();
+        for v in [100u64, 100, 1, 106, 2, 2] {
+            h.retire(v, |x| freed.push(x));
+        }
+        h.flush(|x| freed.push(x));
+        freed.sort_unstable();
+        assert_eq!(freed, vec![1, 2, 2]);
+        assert_eq!(h.retired_len(), 3); // 100, 100, 106 still protected
+        drop(protectors);
+        h.flush(|x| freed.push(x));
+        assert_eq!(h.retired_len(), 0);
     }
 }

@@ -6,12 +6,15 @@
 //!
 //! * [`stack`] — Treiber stacks over a node arena with four head-pointer
 //!   strategies (unprotected, tagged, hazard pointers, LL/SC), experiment E6;
-//! * [`stress`] — the multi-threaded stress harness and value-conservation
-//!   check that quantifies ABA damage;
+//! * [`queue`] — Michael–Scott FIFO queues over the same arena with the same
+//!   four protection strategies (the dequeue CAS is the textbook ABA victim),
+//!   experiment E8;
+//! * [`stress`] — the multi-threaded stress harnesses and value-conservation
+//!   checks that quantify ABA damage;
 //! * [`event`] — the busy-wait / reset event-signalling scenario from §1,
 //!   built on ABA-detecting registers;
-//! * [`arena`] — the index-based node arena the stacks share (no `unsafe`
-//!   anywhere in the repository).
+//! * [`arena`] — the index-based node arena the structures share (no
+//!   `unsafe` anywhere in the repository).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,13 +22,25 @@
 
 pub mod arena;
 pub mod event;
+pub mod queue;
 pub mod stack;
 pub mod stress;
 
 pub use arena::{NodeArena, NIL};
+
+/// The window between reading a structure's link words and the CAS that
+/// acts on them is where the ABA happens in practice (a preempted thread
+/// resumes and CASes against a recycled node).  Every stack and queue
+/// variant yields here, uniformly, so the E6/E8 comparisons measure the
+/// protection strategy and not the accident of scheduling.
+#[inline]
+pub(crate) fn preemption_window() {
+    std::thread::yield_now();
+}
 pub use event::{EventSignal, NaiveEventSignal, Signaler, Waiter};
+pub use queue::{HazardQueue, LlScQueue, Queue, QueueHandle, TaggedQueue, UnprotectedQueue};
 pub use stack::{HazardStack, LlScStack, Stack, StackHandle, TaggedStack, UnprotectedStack};
-pub use stress::{stress_stack, StressReport};
+pub use stress::{stress_queue, stress_stack, QueueStressReport, StressReport};
 
 /// A named constructor for one stack variant: `(capacity, threads) -> stack`.
 ///
@@ -67,6 +82,43 @@ pub fn all_stacks(capacity: usize, threads: usize) -> Vec<Box<dyn Stack>> {
         .collect()
 }
 
+/// A named constructor for one queue variant: `(capacity, threads) -> queue`,
+/// mirroring [`StackBuilder`].
+pub type QueueBuilder = Box<dyn Fn(usize, usize) -> Box<dyn Queue> + Send + Sync>;
+
+/// Named builders for the standard roster of queue variants, in E8 display
+/// order.  The names are stable registry keys (used in experiment tables and
+/// `BENCH_throughput.json`), mirroring [`stack_builders`].
+pub fn queue_builders() -> Vec<(&'static str, QueueBuilder)> {
+    vec![
+        (
+            "queue/unprotected",
+            Box::new(|cap, _threads| Box::new(UnprotectedQueue::new(cap)) as Box<dyn Queue>),
+        ),
+        (
+            "queue/tagged",
+            Box::new(|cap, _threads| Box::new(TaggedQueue::new(cap)) as Box<dyn Queue>),
+        ),
+        (
+            "queue/hazard",
+            Box::new(|cap, threads| Box::new(HazardQueue::new(cap, threads)) as Box<dyn Queue>),
+        ),
+        (
+            "queue/llsc",
+            Box::new(|cap, threads| Box::new(LlScQueue::new(cap, threads)) as Box<dyn Queue>),
+        ),
+    ]
+}
+
+/// The standard roster of queue variants for experiment E8, sized for
+/// `threads` threads holding up to `capacity` values each.
+pub fn all_queues(capacity: usize, threads: usize) -> Vec<Box<dyn Queue>> {
+    queue_builders()
+        .into_iter()
+        .map(|(_, build)| build(capacity, threads))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +152,38 @@ mod tests {
             let mut h = stack.handle(1);
             assert!(h.push(9));
             assert_eq!(h.pop(), Some(9));
+        }
+    }
+
+    #[test]
+    fn queue_roster_contains_all_four_variants() {
+        let queues = all_queues(8, 2);
+        assert_eq!(queues.len(), 4);
+        for queue in &queues {
+            let mut h = queue.handle(0);
+            assert!(h.enqueue(1));
+            assert_eq!(h.dequeue(), Some(1));
+        }
+    }
+
+    #[test]
+    fn queue_builder_registry_names_are_stable_and_distinct() {
+        let builders = queue_builders();
+        let names: Vec<_> = builders.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "queue/unprotected",
+                "queue/tagged",
+                "queue/hazard",
+                "queue/llsc"
+            ]
+        );
+        for (_, build) in builders {
+            let queue = build(4, 2);
+            let mut h = queue.handle(1);
+            assert!(h.enqueue(9));
+            assert_eq!(h.dequeue(), Some(9));
         }
     }
 }

@@ -16,7 +16,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use aba_core::AnnounceLlSc;
 use aba_hazard::HazardDomain;
 
-use crate::arena::{NodeArena, NIL};
+use crate::arena::{pack, unpack, NodeArena, IDX_NIL, NIL};
+use crate::preemption_window;
 
 /// A bounded, concurrent LIFO with per-thread handles.
 pub trait Stack: Send + Sync {
@@ -37,16 +38,6 @@ pub trait StackHandle: Send {
     fn push(&mut self, value: u32) -> bool;
     /// Pop a value, if any.
     fn pop(&mut self) -> Option<u32>;
-}
-
-/// The window between reading a node's `next` link and the head CAS is where
-/// the ABA happens in practice (a preempted thread resumes and CASes against
-/// a recycled node).  Every variant yields here, uniformly, so that the
-/// comparison in experiment E6 measures the protection strategy and not the
-/// accident of scheduling.
-#[inline]
-fn preemption_window() {
-    std::thread::yield_now();
 }
 
 // ---------------------------------------------------------------------------
@@ -162,23 +153,13 @@ pub struct TaggedStack {
     head: AtomicU64,
 }
 
-const TAG_NIL: u32 = u32::MAX;
-
-fn pack_head(idx: u32, tag: u32) -> u64 {
-    ((tag as u64) << 32) | idx as u64
-}
-
-fn unpack_head(raw: u64) -> (u32, u32) {
-    ((raw & 0xFFFF_FFFF) as u32, (raw >> 32) as u32)
-}
-
 impl TaggedStack {
     /// A stack backed by `capacity` nodes.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity < TAG_NIL as usize, "capacity too large");
+        assert!(capacity < IDX_NIL as usize, "capacity too large");
         TaggedStack {
             arena: NodeArena::new(capacity),
-            head: AtomicU64::new(pack_head(TAG_NIL, 0)),
+            head: AtomicU64::new(pack(IDX_NIL, 0)),
         }
     }
 }
@@ -215,16 +196,16 @@ impl StackHandle for TaggedHandle<'_> {
         arena.set_value(idx, value);
         loop {
             let raw = self.stack.head.load(Ordering::SeqCst);
-            let (head_idx, tag) = unpack_head(raw);
+            let (head_idx, tag) = unpack(raw);
             arena.set_next(
                 idx,
-                if head_idx == TAG_NIL {
+                if head_idx == IDX_NIL {
                     NIL
                 } else {
                     head_idx as u64
                 },
             );
-            let new = pack_head(idx as u32, tag.wrapping_add(1));
+            let new = pack(idx as u32, tag.wrapping_add(1));
             if self
                 .stack
                 .head
@@ -240,14 +221,14 @@ impl StackHandle for TaggedHandle<'_> {
         let arena = &self.stack.arena;
         loop {
             let raw = self.stack.head.load(Ordering::SeqCst);
-            let (head_idx, tag) = unpack_head(raw);
-            if head_idx == TAG_NIL {
+            let (head_idx, tag) = unpack(raw);
+            if head_idx == IDX_NIL {
                 return None;
             }
             let next = arena.next(head_idx as u64);
-            let next_idx = if next == NIL { TAG_NIL } else { next as u32 };
+            let next_idx = if next == NIL { IDX_NIL } else { next as u32 };
             preemption_window();
-            let new = pack_head(next_idx, tag.wrapping_add(1));
+            let new = pack(next_idx, tag.wrapping_add(1));
             if self
                 .stack
                 .head

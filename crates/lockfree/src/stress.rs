@@ -1,14 +1,18 @@
-//! Multi-threaded stress harness and conservation checking for the stacks
-//! (experiment E6).
+//! Multi-threaded stress harnesses and conservation checking for the stacks
+//! (experiment E6) and queues (experiment E8).
 //!
-//! Each thread pushes a disjoint set of values and pops whatever it finds.
-//! Afterwards the values that were popped plus the values still in the stack
-//! must be exactly the values that were pushed — any *lost* or *duplicated*
-//! value is structural corruption caused by an ABA on the head pointer.
+//! For stacks, each thread pushes a disjoint set of values and pops whatever
+//! it finds.  For queues, producer threads enqueue disjoint values while
+//! consumer threads dequeue — the role-asymmetric traffic the MS queue is
+//! built for.  Afterwards the values that were taken out plus the values
+//! still inside must be exactly the values that went in — any *lost* or
+//! *duplicated* value is structural corruption caused by an ABA on the
+//! head/tail words.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use crate::queue::Queue;
 use crate::stack::Stack;
 
 /// Result of one stress run.
@@ -140,6 +144,161 @@ pub fn stress_stack(stack: &dyn Stack, threads: usize, ops_per_thread: usize) ->
     }
 }
 
+/// Result of one queue stress run (experiment E8's conservation check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueStressReport {
+    /// Queue variant name.
+    pub queue: String,
+    /// Number of producer threads.
+    pub producers: usize,
+    /// Number of consumer threads.
+    pub consumers: usize,
+    /// Enqueue attempts per producer.
+    pub ops_per_thread: usize,
+    /// Values successfully enqueued.
+    pub enqueued: u64,
+    /// Values dequeued by the consumers.
+    pub dequeued: u64,
+    /// Values drained from the queue afterwards.
+    pub remaining: u64,
+    /// ABA events the queue itself detected (only the unprotected variant
+    /// reports these).
+    pub aba_events: u64,
+    /// Values that were enqueued but never seen again.
+    pub lost: u64,
+    /// Values that were seen more often than they were enqueued.
+    pub duplicated: u64,
+}
+
+impl QueueStressReport {
+    /// `true` iff every enqueued value was seen exactly once afterwards.
+    pub fn is_conserved(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0
+    }
+}
+
+/// Run `producers` enqueuing threads (disjoint unique values; an enqueue
+/// that finds the arena exhausted is simply not counted) against
+/// `consumers` dequeuing threads — the consumers are what keeps the free
+/// list hot — then drain the queue and check conservation: every enqueued
+/// value must come out exactly once.
+///
+/// The queue must have been built for at least `producers + consumers`
+/// threads; thread ids `0..producers` produce and the rest consume.
+///
+/// # Panics
+///
+/// Panics if `producers == 0` or `consumers == 0`.
+pub fn stress_queue(
+    queue: &dyn Queue,
+    producers: usize,
+    consumers: usize,
+    ops_per_thread: usize,
+) -> QueueStressReport {
+    assert!(producers > 0, "need at least one producer");
+    assert!(consumers > 0, "need at least one consumer");
+    let observed: Mutex<HashMap<u32, i64>> = Mutex::new(HashMap::new());
+    let enqueued: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for tid in 0..producers {
+            let enqueued = &enqueued;
+            s.spawn(move || {
+                let mut handle = queue.handle(tid);
+                let mut mine = Vec::new();
+                for i in 0..ops_per_thread {
+                    let value = (tid * ops_per_thread + i) as u32 + 1;
+                    if handle.enqueue(value) {
+                        mine.push(value);
+                    }
+                }
+                enqueued.lock().unwrap().extend(mine);
+            });
+        }
+        for tid in producers..producers + consumers {
+            let observed = &observed;
+            s.spawn(move || {
+                let mut handle = queue.handle(tid);
+                let mut mine = Vec::new();
+                // Consumers chase the producers: a bounded number of attempts
+                // per expected value so the run terminates even when the
+                // queue stays empty (or corrupts).
+                let budget = 4 * producers * ops_per_thread / consumers + 64;
+                for _ in 0..budget {
+                    if let Some(v) = handle.dequeue() {
+                        mine.push(v);
+                    }
+                }
+                let mut obs = observed.lock().unwrap();
+                for v in mine {
+                    *obs.entry(v).or_insert(0) += 1;
+                }
+            });
+        }
+    });
+
+    let mut dequeued_total = 0u64;
+    {
+        let obs = observed.lock().unwrap();
+        for count in obs.values() {
+            dequeued_total += *count as u64;
+        }
+    }
+
+    // Drain what is left.
+    let mut remaining = 0u64;
+    {
+        let mut handle = queue.handle(0);
+        let mut obs = observed.lock().unwrap();
+        let mut drained = 0usize;
+        // A corrupted queue can contain a cycle; bound the drain.
+        let limit = queue.capacity() * 4 + 16;
+        while let Some(v) = handle.dequeue() {
+            *obs.entry(v).or_insert(0) += 1;
+            remaining += 1;
+            drained += 1;
+            if drained > limit {
+                break;
+            }
+        }
+    }
+
+    let enqueued_values = enqueued.into_inner().unwrap();
+    let mut expected: HashMap<u32, i64> = HashMap::new();
+    for v in &enqueued_values {
+        *expected.entry(*v).or_insert(0) += 1;
+    }
+    let observed = observed.into_inner().unwrap();
+
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    for (value, want) in &expected {
+        let got = observed.get(value).copied().unwrap_or(0);
+        if got < *want {
+            lost += (*want - got) as u64;
+        }
+    }
+    for (value, got) in &observed {
+        let want = expected.get(value).copied().unwrap_or(0);
+        if *got > want {
+            duplicated += (*got - want) as u64;
+        }
+    }
+
+    QueueStressReport {
+        queue: queue.name().to_string(),
+        producers,
+        consumers,
+        ops_per_thread,
+        enqueued: enqueued_values.len() as u64,
+        dequeued: dequeued_total,
+        remaining,
+        aba_events: queue.aba_events(),
+        lost,
+        duplicated,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +356,72 @@ mod tests {
     fn single_threaded_stress_is_always_clean_even_unprotected() {
         let stack = UnprotectedStack::new(CAPACITY);
         let report = stress_stack(&stack, 1, 2_000);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Queue conservation (experiment E8)
+    // ------------------------------------------------------------------
+
+    use crate::queue::{HazardQueue, LlScQueue, TaggedQueue, UnprotectedQueue};
+
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const QUEUE_THREADS: usize = PRODUCERS + CONSUMERS;
+
+    #[test]
+    fn tagged_queue_conserves_values() {
+        let queue = TaggedQueue::new(CAPACITY + QUEUE_THREADS * 2);
+        let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn hazard_queue_conserves_values() {
+        let queue = HazardQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn llsc_queue_conserves_values() {
+        let queue = LlScQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn unprotected_queue_exhibits_aba_under_pressure() {
+        // The ABA is a race, so retry a few rounds; with a tiny arena and
+        // thousands of operations it shows up essentially immediately on any
+        // multi-core machine.  Lost/duplicated values and detected ABA events
+        // both count — either quantifies the damage.
+        let mut total_events = 0u64;
+        let mut total_anomalies = 0u64;
+        for _ in 0..8 {
+            let queue = UnprotectedQueue::new(CAPACITY);
+            let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
+            total_events += report.aba_events;
+            total_anomalies += report.lost + report.duplicated;
+            if total_events > 0 {
+                break;
+            }
+        }
+        assert!(
+            total_events > 0 || total_anomalies > 0,
+            "expected at least one ABA event or conservation anomaly"
+        );
+    }
+
+    #[test]
+    fn single_producer_single_consumer_is_clean_even_unprotected() {
+        // With one consumer there is no concurrent dequeuer to recycle the
+        // dummy out from under a dequeue in progress, so even the
+        // unprotected variant conserves values.
+        let queue = UnprotectedQueue::new(CAPACITY);
+        let report = stress_queue(&queue, 1, 1, 2_000);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
     }

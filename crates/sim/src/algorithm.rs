@@ -29,6 +29,10 @@ pub enum MethodCall {
     Sc(Word),
     /// `VL()` on an LL/SC/VL object.
     Vl,
+    /// `Enqueue(x)` on a simulated FIFO queue.
+    Enqueue(Word),
+    /// `Dequeue()` on a simulated FIFO queue.
+    Dequeue,
 }
 
 /// The response of a completed method call.
@@ -44,6 +48,10 @@ pub enum MethodResponse {
     ScResult(bool),
     /// `VL` returned its validity flag.
     VlResult(bool),
+    /// `Enqueue` returned whether a node was linked (`false` = arena full).
+    EnqueueResult(bool),
+    /// `Dequeue` returned the oldest value, if any.
+    DequeueResult(Option<Word>),
 }
 
 /// An algorithm (implementation of an ABA-detecting register or LL/SC/VL

@@ -4,8 +4,11 @@
 //! * [`fig4`] — Figure 4 (ABA-detecting register from n+1 registers), with
 //!   deliberately crippled variants for the lower-bound experiments;
 //! * [`baselines`] — the unbounded tagged baseline and a broken naive
-//!   register.
+//!   register;
+//! * [`queue`] — step-level Michael–Scott queues (unprotected and tagged)
+//!   whose schedules the ABA-witness search controls.
 
 pub mod baselines;
 pub mod fig3;
 pub mod fig4;
+pub mod queue;

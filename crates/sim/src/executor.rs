@@ -255,6 +255,12 @@ impl Simulation {
                 OpKind::Sc { value, success }
             }
             (MethodCall::Vl, MethodResponse::VlResult(valid)) => OpKind::Vl { valid },
+            (MethodCall::Enqueue(value), MethodResponse::EnqueueResult(ok)) => {
+                OpKind::Enqueue { value, ok }
+            }
+            (MethodCall::Dequeue, MethodResponse::DequeueResult(value)) => {
+                OpKind::Dequeue { value }
+            }
             (call, response) => panic!("mismatched call/response pair: {call:?} / {response:?}"),
         };
         self.history.push(OpRecord {

@@ -9,12 +9,17 @@
 //! * [`search_weak_violation`] hammers an algorithm with random schedules and
 //!   reports the first definite violation of the `WeakRead`/`WeakWrite`
 //!   condition, together with the schedule that produced it (the *witness*);
+//! * [`run_queue_workload`] / [`search_queue_violation`] do the same for the
+//!   simulated MS queues, checking full linearizability against the
+//!   sequential FIFO specification: random small schedules produce a
+//!   concrete ABA witness (a duplicated, lost or reordered value) for the
+//!   unprotected variant while the tagged variant survives;
 //! * [`measure_llsc_worst_case`] measures worst-case `LL`/`SC` step counts of
 //!   a simulated LL/SC algorithm under contention-heavy schedules (experiment
 //!   E2's adversarial component).
 
 use aba_spec::weak::{check_weak_history, WeakViolation};
-use aba_spec::{History, ProcessId};
+use aba_spec::{check_queue_history, History, LinCheckOutcome, ProcessId};
 
 use crate::algorithm::{MethodCall, SimAlgorithm};
 use crate::executor::Simulation;
@@ -93,6 +98,132 @@ pub fn search_weak_violation(
                 trial,
                 history,
                 violation: v,
+            });
+        }
+    }
+    None
+}
+
+/// Outcome of one queue workload execution: the completed-operation history
+/// and whether the simulation reached quiescence within its step budget (a
+/// corrupted unprotected queue can cycle its links, after which the helping
+/// loops spin forever — itself ABA damage worth witnessing).
+#[derive(Debug, Clone)]
+pub struct QueueWorkloadOutcome {
+    /// History of all *completed* method calls.
+    pub history: History,
+    /// `false` iff the post-schedule drain hit its step budget with method
+    /// calls still incomplete.
+    pub quiesced: bool,
+}
+
+/// Run a producer/consumer workload on a simulated queue under `schedule`:
+/// even processes each enqueue `enqueues` unique values, odd processes each
+/// perform `dequeues` dequeues.  After the schedule is exhausted the
+/// simulation is driven round-robin towards quiescence, bounded so that a
+/// corrupted (cycled) queue cannot wedge the search.
+pub fn run_queue_workload(
+    algo: &dyn SimAlgorithm,
+    enqueues: usize,
+    dequeues: usize,
+    schedule: &[ProcessId],
+) -> QueueWorkloadOutcome {
+    let n = algo.n();
+    let mut sim = Simulation::new(algo);
+    for pid in 0..n {
+        if pid % 2 == 0 {
+            for i in 0..enqueues {
+                // Unique values so any duplication or loss is attributable.
+                sim.enqueue(pid, MethodCall::Enqueue((pid * 1_000 + i + 1) as u32));
+            }
+        } else {
+            for _ in 0..dequeues {
+                sim.enqueue(pid, MethodCall::Dequeue);
+            }
+        }
+    }
+    sim.run_schedule(schedule);
+    // Bounded drain: generous for any lock-free execution of this little
+    // work, yet finite when the structure has been corrupted into a cycle.
+    let mut budget = 50_000usize;
+    while !sim.is_quiescent() && budget > 0 {
+        for pid in 0..n {
+            let _ = sim.step(pid);
+            budget = budget.saturating_sub(1);
+        }
+    }
+    QueueWorkloadOutcome {
+        history: sim.history().clone(),
+        quiesced: sim.is_quiescent(),
+    }
+}
+
+/// A queue violation witness: the schedule whose execution either produced a
+/// non-linearizable completed history or wedged the structure entirely.
+#[derive(Debug, Clone)]
+pub struct QueueViolationWitness {
+    /// The schedule (sequence of process IDs) that produced the violation.
+    pub schedule: Vec<ProcessId>,
+    /// Seed of the random schedule, for reproduction.
+    pub seed: u64,
+    /// 0-based index of the trial (within the search) that found the
+    /// violation.
+    pub trial: u64,
+    /// The complete history of the execution.
+    pub history: History,
+    /// `true` iff the execution failed to quiesce (links cycled) rather than
+    /// completing with an inconsistent history.
+    pub wedged: bool,
+}
+
+/// Search for a linearizability violation of a simulated queue using random
+/// schedules (the queue counterpart of [`search_weak_violation`]).  Returns
+/// the first witness found within `trials` attempts, or `None` if the
+/// implementation survived them all.
+///
+/// For [`QueueSim::tagged`](crate::algorithms::queue::QueueSim::tagged) this
+/// always returns `None`; for the unprotected variant a small arena and a
+/// handful of processes yield a witness within a few dozen trials.
+pub fn search_queue_violation(
+    algo: &dyn SimAlgorithm,
+    trials: u64,
+    base_seed: u64,
+) -> Option<QueueViolationWitness> {
+    let n = algo.n();
+    let producers = n.div_ceil(2);
+    let consumers = n - producers;
+    let enqueues = 4;
+    // Consumers collectively chase every enqueued value, plus slack so empty
+    // dequeues appear in the histories too.
+    let dequeues = if consumers == 0 {
+        0
+    } else {
+        (producers * enqueues).div_ceil(consumers) + 1
+    };
+    let ops = producers * enqueues + consumers * dequeues;
+    // Enough slots for heavy interleaving of every queued method call, dealt
+    // out in preemption-style bursts: a victim parked between its reads and
+    // its CAS while others burn through whole operations is the window the
+    // dequeue ABA needs (uniformly random schedules almost never open it).
+    let len = 40 * ops;
+    let max_burst = 36;
+    for trial in 0..trials {
+        let seed = base_seed.wrapping_add(trial);
+        let sched = schedule::bursty(n, len, max_burst, seed);
+        let outcome = run_queue_workload(algo, enqueues, dequeues, &sched);
+        let wedged = !outcome.quiesced;
+        let violated = wedged
+            || matches!(
+                check_queue_history(&outcome.history),
+                LinCheckOutcome::NotLinearizable
+            );
+        if violated {
+            return Some(QueueViolationWitness {
+                schedule: sched,
+                seed,
+                trial,
+                history: outcome.history,
+                wedged,
             });
         }
     }
@@ -255,6 +386,62 @@ mod tests {
         let f4_large = measure_register_worst_case(&Fig4Sim::new(8), 1, 6);
         assert_eq!(f4_small.worst_case, 4);
         assert_eq!(f4_large.worst_case, 4);
+    }
+
+    #[test]
+    fn tagged_queue_survives_random_search() {
+        use crate::algorithms::queue::QueueSim;
+        let algo = QueueSim::tagged(4, 3);
+        assert!(search_queue_violation(&algo, 60, 1).is_none());
+    }
+
+    #[test]
+    fn unprotected_queue_yields_an_aba_witness() {
+        use crate::algorithms::queue::QueueSim;
+        // A tiny arena maximises recycling; the textbook dequeue ABA shows up
+        // within a couple of hundred bursty schedules (deterministically —
+        // schedules are seed-derived and the simulator takes no real time).
+        let algo = QueueSim::unprotected(6, 3);
+        let witness = search_queue_violation(&algo, 200, 1).expect("unprotected must break");
+        assert!(!witness.schedule.is_empty());
+        if !witness.wedged {
+            assert_eq!(
+                aba_spec::check_queue_history(&witness.history),
+                aba_spec::LinCheckOutcome::NotLinearizable
+            );
+        }
+        // The witness is reproducible from its schedule alone (3 producers x
+        // 4 enqueues, 3 consumers x 5 dequeues — the search's workload).
+        let replay = run_queue_workload(&algo, 4, 5, &witness.schedule);
+        assert_eq!(replay.history, witness.history);
+        assert_eq!(replay.quiesced, !witness.wedged);
+    }
+
+    #[test]
+    fn unprotected_queue_also_yields_inconsistent_completed_histories() {
+        use crate::algorithms::queue::QueueSim;
+        // Beyond wedging the structure, the ABA also produces *completed*
+        // histories no FIFO order can explain (duplicated or lost values) —
+        // the linearizability checker is what rejects them.
+        let algo = QueueSim::unprotected(4, 3);
+        let witness = search_queue_violation(&algo, 400, 1).expect("unprotected must break");
+        assert!(!witness.wedged);
+        assert_eq!(
+            aba_spec::check_queue_history(&witness.history),
+            aba_spec::LinCheckOutcome::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn queue_workload_histories_are_well_formed() {
+        use crate::algorithms::queue::QueueSim;
+        let algo = QueueSim::tagged(3, 4);
+        let sched = schedule::random(3, 600, 9);
+        let outcome = run_queue_workload(&algo, 4, 9, &sched);
+        assert!(outcome.quiesced);
+        assert!(outcome.history.is_well_formed());
+        // 2 producers x 4 enqueues + 1 consumer x 9 dequeues
+        assert_eq!(outcome.history.len(), 2 * 4 + 9, "{:?}", outcome.history);
     }
 
     #[test]

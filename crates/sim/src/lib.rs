@@ -46,7 +46,8 @@ pub mod schedule;
 pub use algorithm::{MethodCall, MethodResponse, SimAlgorithm, SimProcess};
 pub use executor::{Simulation, StepOutcome};
 pub use explore::{
-    measure_llsc_worst_case, measure_register_worst_case, run_register_workload,
-    search_weak_violation, StepStats, ViolationWitness,
+    measure_llsc_worst_case, measure_register_worst_case, run_queue_workload,
+    run_register_workload, search_queue_violation, search_weak_violation, QueueViolationWitness,
+    QueueWorkloadOutcome, StepStats, ViolationWitness,
 };
 pub use object::{BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepResult};

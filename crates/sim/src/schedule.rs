@@ -29,6 +29,30 @@ pub fn random(n: usize, len: usize, seed: u64) -> Vec<ProcessId> {
     (0..len).map(|_| rng.gen_range(0..n)).collect()
 }
 
+/// A preemption-style schedule: processes run in *bursts* of random length
+/// (`1..=max_burst` steps), deterministic in `seed`.  A long one-sided burst
+/// is exactly what an OS scheduler produces when it preempts a thread
+/// mid-operation — it opens a multi-operation window between a victim's
+/// reads and its CAS, the shape that turns a latent ABA into an observable
+/// one (uniformly random schedules almost never do).
+pub fn bursty(n: usize, len: usize, max_burst: usize, seed: u64) -> Vec<ProcessId> {
+    assert!(n > 0, "need at least one process");
+    assert!(max_burst > 0, "bursts must have at least one step");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schedule = Vec::with_capacity(len);
+    while schedule.len() < len {
+        let p = rng.gen_range(0..n);
+        let burst = rng.gen_range(0..max_burst) + 1;
+        for _ in 0..burst {
+            schedule.push(p);
+            if schedule.len() == len {
+                break;
+            }
+        }
+    }
+    schedule
+}
+
 /// A schedule biased towards one process: `victim` takes a step with
 /// probability `victim_share` (in percent), everyone else shares the rest.
 /// Useful to reproduce the "reader is constantly interfered with" pattern.
@@ -93,6 +117,23 @@ mod tests {
         assert_eq!(random(4, 50, 7), random(4, 50, 7));
         assert_ne!(random(4, 50, 7), random(4, 50, 8));
         assert!(random(4, 50, 7).iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn bursty_is_deterministic_and_runs_in_bursts() {
+        let s = bursty(4, 300, 24, 5);
+        assert_eq!(s.len(), 300);
+        assert_eq!(s, bursty(4, 300, 24, 5));
+        assert!(s.iter().all(|&p| p < 4));
+        // There is at least one run longer than a uniform schedule would
+        // plausibly produce.
+        let mut longest = 1usize;
+        let mut run = 1usize;
+        for w in s.windows(2) {
+            run = if w[0] == w[1] { run + 1 } else { 1 };
+            longest = longest.max(run);
+        }
+        assert!(longest >= 8, "longest run was {longest}");
     }
 
     #[test]

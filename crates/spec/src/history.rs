@@ -47,6 +47,21 @@ pub enum OpKind {
         /// Whether the link was still valid.
         valid: bool,
     },
+    /// `Enqueue(x)` on a FIFO queue, with whether a node was actually linked
+    /// (`ok == false` models an arena-exhausted attempt, which never touches
+    /// the abstract queue).
+    Enqueue {
+        /// Enqueued value.
+        value: Word,
+        /// Whether the enqueue took effect.
+        ok: bool,
+    },
+    /// `Dequeue()` on a FIFO queue, with the value it returned (`None` for an
+    /// empty queue).
+    Dequeue {
+        /// Dequeued value, if any.
+        value: Option<Word>,
+    },
 }
 
 impl OpKind {
@@ -55,7 +70,10 @@ impl OpKind {
     pub fn is_mutator(&self) -> bool {
         matches!(
             self,
-            OpKind::DWrite { .. } | OpKind::Sc { success: true, .. }
+            OpKind::DWrite { .. }
+                | OpKind::Sc { success: true, .. }
+                | OpKind::Enqueue { ok: true, .. }
+                | OpKind::Dequeue { value: Some(_) }
         )
     }
 }
@@ -68,6 +86,9 @@ impl fmt::Display for OpKind {
             OpKind::Ll { value } => write!(f, "LL() -> {value}"),
             OpKind::Sc { value, success } => write!(f, "SC({value}) -> {success}"),
             OpKind::Vl { valid } => write!(f, "VL() -> {valid}"),
+            OpKind::Enqueue { value, ok } => write!(f, "Enqueue({value}) -> {ok}"),
+            OpKind::Dequeue { value: Some(v) } => write!(f, "Dequeue() -> {v}"),
+            OpKind::Dequeue { value: None } => write!(f, "Dequeue() -> empty"),
         }
     }
 }
@@ -329,6 +350,30 @@ mod tests {
         }
         .is_mutator());
         assert!(!OpKind::Vl { valid: true }.is_mutator());
+    }
+
+    #[test]
+    fn queue_op_classification_and_display() {
+        assert!(OpKind::Enqueue { value: 1, ok: true }.is_mutator());
+        assert!(!OpKind::Enqueue {
+            value: 1,
+            ok: false
+        }
+        .is_mutator());
+        assert!(OpKind::Dequeue { value: Some(1) }.is_mutator());
+        assert!(!OpKind::Dequeue { value: None }.is_mutator());
+        assert_eq!(
+            format!("{}", OpKind::Enqueue { value: 7, ok: true }),
+            "Enqueue(7) -> true"
+        );
+        assert_eq!(
+            format!("{}", OpKind::Dequeue { value: Some(7) }),
+            "Dequeue() -> 7"
+        );
+        assert_eq!(
+            format!("{}", OpKind::Dequeue { value: None }),
+            "Dequeue() -> empty"
+        );
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub mod traits;
 pub mod weak;
 
 pub use history::{History, OpKind, OpRecord, Recorder};
-pub use linearizability::{check_aba_history, check_llsc_history, LinCheckOutcome};
-pub use sequential::{SeqAbaRegister, SeqLlSc};
+pub use linearizability::{
+    check_aba_history, check_llsc_history, check_queue_history, LinCheckOutcome,
+};
+pub use sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc};
 pub use space::{BaseObjectKind, SpaceUsage};
 pub use traits::{AbaHandle, AbaRegisterObject, LlScHandle, LlScObject};
 

@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use std::hash::Hash;
 
 use crate::history::{History, OpKind};
-use crate::sequential::{SeqAbaRegister, SeqLlSc};
+use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc};
 use crate::{ProcessId, Word};
 
 /// Maximum history length the exhaustive checker accepts.
@@ -65,6 +65,26 @@ impl CheckerSpec for AbaSpecState {
                 true
             }
             OpKind::DRead { value, flag } => self.0.dread(pid) == (value, flag),
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueueSpecState(SeqFifoQueue);
+
+impl CheckerSpec for QueueSpecState {
+    fn apply(&mut self, _pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::Enqueue { value, ok } => {
+                // A failed (arena-exhausted) enqueue never touched the
+                // abstract queue: it linearizes anywhere as a no-op.
+                if ok {
+                    self.0.enqueue(value);
+                }
+                true
+            }
+            OpKind::Dequeue { value } => self.0.dequeue() == value,
             _ => false,
         }
     }
@@ -122,6 +142,27 @@ pub fn check_llsc_history(history: &History, n: usize, initial: Word) -> LinChec
         );
     }
     check_generic(history, LlScSpecState(SeqLlSc::new(n, initial)))
+}
+
+/// Check a history of `Enqueue`/`Dequeue` operations against the FIFO queue
+/// specification (initially empty).
+///
+/// A non-linearizable outcome is exactly what an ABA on the MS-queue's
+/// dequeue CAS produces: a value dequeued twice, a value skipped, or a
+/// spurious "empty" answer while a completed enqueue precedes the dequeue.
+///
+/// # Panics
+///
+/// Panics if the history contains non-queue operations.
+pub fn check_queue_history(history: &History) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(op.kind, OpKind::Enqueue { .. } | OpKind::Dequeue { .. }),
+            "check_queue_history given a non-queue operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, QueueSpecState(SeqFifoQueue::new()))
 }
 
 fn check_generic<S: CheckerSpec>(history: &History, initial: S) -> LinCheckOutcome {
@@ -402,6 +443,89 @@ mod tests {
             }
             other => panic!("expected linearizable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sequential_fifo_history_is_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Enqueue { value: 1, ok: true }, 0, 1),
+            rec(0, OpKind::Enqueue { value: 2, ok: true }, 2, 3),
+            rec(1, OpKind::Dequeue { value: Some(1) }, 4, 5),
+            rec(1, OpKind::Dequeue { value: Some(2) }, 6, 7),
+            rec(1, OpKind::Dequeue { value: None }, 8, 9),
+        ]);
+        assert!(check_queue_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn duplicated_dequeue_is_not_linearizable() {
+        // The ABA damage signature: one enqueue, the same value dequeued by
+        // two processes.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Enqueue { value: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Dequeue { value: Some(5) }, 2, 3),
+            rec(2, OpKind::Dequeue { value: Some(5) }, 4, 5),
+        ]);
+        assert_eq!(check_queue_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn lost_value_is_not_linearizable() {
+        // An enqueue strictly precedes the dequeue, yet the dequeue reports
+        // an empty queue: the value was lost.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Enqueue { value: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Dequeue { value: None }, 2, 3),
+        ]);
+        assert_eq!(check_queue_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn fifo_order_violation_is_not_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Enqueue { value: 1, ok: true }, 0, 1),
+            rec(0, OpKind::Enqueue { value: 2, ok: true }, 2, 3),
+            rec(1, OpKind::Dequeue { value: Some(2) }, 4, 5),
+            rec(1, OpKind::Dequeue { value: Some(1) }, 6, 7),
+        ]);
+        assert_eq!(check_queue_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_enqueue_and_dequeue_allow_either_outcome() {
+        // The dequeue overlaps the enqueue, so it may linearize before
+        // (empty) or after (value) it.
+        for value in [None, Some(5)] {
+            let h = History::from_ops(vec![
+                rec(0, OpKind::Enqueue { value: 5, ok: true }, 0, 10),
+                rec(1, OpKind::Dequeue { value }, 1, 2),
+            ]);
+            assert!(check_queue_history(&h).is_linearizable(), "{value:?}");
+        }
+    }
+
+    #[test]
+    fn failed_enqueue_linearizes_as_a_no_op() {
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::Enqueue {
+                    value: 9,
+                    ok: false,
+                },
+                0,
+                1,
+            ),
+            rec(1, OpKind::Dequeue { value: None }, 2, 3),
+        ]);
+        assert!(check_queue_history(&h).is_linearizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-queue operation")]
+    fn queue_checker_rejects_register_ops() {
+        let h = History::from_ops(vec![rec(0, OpKind::DWrite { value: 0 }, 0, 1)]);
+        let _ = check_queue_history(&h);
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Sequential specifications of the paper's two object types.
+//! Sequential specifications of the paper's two object types, plus the FIFO
+//! queue the E8 lock-free structures must linearize to.
 //!
 //! These are the *abstract* objects that the concurrent implementations must
 //! linearize to.  They are deliberately tiny and obviously correct; the
 //! linearizability checker replays candidate linearizations against them, and
 //! the property tests in this crate exercise their invariants directly.
+
+use std::collections::VecDeque;
 
 use crate::{ProcessId, Word};
 
@@ -147,9 +150,70 @@ impl SeqLlSc {
     }
 }
 
+/// Sequential specification of an unbounded FIFO queue.
+///
+/// State: the queued values, oldest first.  The concurrent MS-queue variants
+/// in `aba-lockfree` and the step-level state machines in `aba-sim` must
+/// linearize to this; a failed (arena-exhausted) enqueue is a no-op on the
+/// abstract state, so the specification itself carries no capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SeqFifoQueue {
+    items: VecDeque<Word>,
+}
+
+impl SeqFifoQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the queue holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Apply an `Enqueue(x)`.
+    pub fn enqueue(&mut self, value: Word) {
+        self.items.push_back(value);
+    }
+
+    /// Apply a `Dequeue()`, returning the oldest value (or `None` if empty).
+    pub fn dequeue(&mut self) -> Option<Word> {
+        self.items.pop_front()
+    }
+
+    /// The value a `Dequeue()` would return, without applying it.
+    pub fn front(&self) -> Option<Word> {
+        self.items.front().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fifo_queue_orders_values() {
+        let mut q = SeqFifoQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.front(), Some(1));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
 
     #[test]
     fn aba_register_flags_follow_the_specification() {

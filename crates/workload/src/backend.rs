@@ -1,20 +1,21 @@
 //! The backend side of the matrix: everything a scenario can drive.
 //!
-//! A [`Workload`] adapts one shared object — an [`LlScObject`] or a
-//! [`Stack`](aba_lockfree::Stack) — to the three abstract operations the
-//! scenarios are written in terms of ([`WorkloadOps`]): `read`, `write` and
-//! `rmw` (read-modify-write).  A [`BackendSpec`] is a named factory that
-//! builds a fresh, correctly-sized instance for every measurement cell, so
-//! that repetitions never observe each other's state.
+//! A [`Workload`] adapts one shared object — an [`LlScObject`], a
+//! [`Stack`](aba_lockfree::Stack) or a [`Queue`](aba_lockfree::Queue) — to
+//! the three abstract operations the scenarios are written in terms of
+//! ([`WorkloadOps`]): `read`, `write` and `rmw` (read-modify-write).  A
+//! [`BackendSpec`] is a named factory that builds a fresh, correctly-sized
+//! instance for every measurement cell, so that repetitions never observe
+//! each other's state.
 //!
-//! [`standard_backends`] is the roster the E7 experiment sweeps: every
+//! [`standard_backends`] is the roster the E7/E8 experiments sweep: every
 //! `LlScObject` implementation in `aba-core` (Figure 3's single-CAS object,
 //! the announce-array object, and Moir's construction at three tag widths)
-//! plus every Treiber-stack variant in `aba-lockfree` (unprotected, tagged,
-//! hazard-protected and LL/SC-headed).
+//! plus every Treiber-stack variant and every MS-queue variant in
+//! `aba-lockfree` (unprotected, tagged, hazard-protected and LL/SC-worded).
 
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
-use aba_lockfree::{stack_builders, Stack, StackHandle};
+use aba_lockfree::{queue_builders, stack_builders, Queue, QueueHandle, Stack, StackHandle};
 use aba_spec::{LlScHandle, LlScObject};
 
 /// A shared object adapted to the scenario vocabulary, sized for a fixed
@@ -190,6 +191,70 @@ impl WorkloadOps for StackOps<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Queue adapter
+// ---------------------------------------------------------------------------
+
+/// [`Workload`] over any MS-queue variant.
+pub struct QueueWorkload {
+    queue: Box<dyn Queue>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for QueueWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueWorkload")
+            .field("name", &self.queue.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl QueueWorkload {
+    /// Wrap `queue` for use by `threads` threads.
+    pub fn new(queue: Box<dyn Queue>, threads: usize) -> Self {
+        QueueWorkload { queue, threads }
+    }
+}
+
+impl Workload for QueueWorkload {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        Box::new(QueueOps {
+            handle: self.queue.handle(tid),
+        })
+    }
+}
+
+struct QueueOps<'a> {
+    handle: Box<dyn QueueHandle + 'a>,
+}
+
+impl WorkloadOps for QueueOps<'_> {
+    fn read(&mut self) {
+        std::hint::black_box(self.handle.dequeue());
+    }
+
+    fn write(&mut self, value: u32) {
+        if !self.handle.enqueue(value) {
+            // Arena exhausted: make room (keeps producer-heavy scenarios
+            // from degenerating into no-ops once the queue fills).
+            std::hint::black_box(self.handle.dequeue());
+            std::hint::black_box(self.handle.enqueue(value));
+        }
+    }
+
+    fn rmw(&mut self, value: u32) {
+        // The pipeline hand-off: drain one value, transform it, re-publish.
+        let drained = self.handle.dequeue().unwrap_or(0);
+        std::hint::black_box(self.handle.enqueue(drained.wrapping_add(value)));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -231,14 +296,16 @@ impl BackendSpec {
     }
 }
 
-/// Node-arena capacity for the stack backends, scaled with the thread count
-/// so that churn scenarios always have headroom but recycling stays hot.
+/// Node-arena capacity for the stack and queue backends, scaled with the
+/// thread count so that churn scenarios always have headroom but recycling
+/// stays hot.
 fn stack_capacity(threads: usize) -> usize {
     64 + 16 * threads
 }
 
-/// The standard E7 backend roster: every LL/SC implementation (Moir at tag
-/// widths 8, 16 and 32) plus every Treiber-stack variant.
+/// The standard E7/E8 backend roster: every LL/SC implementation (Moir at
+/// tag widths 8, 16 and 32) plus every Treiber-stack variant and every
+/// MS-queue variant.
 pub fn standard_backends() -> Vec<BackendSpec> {
     let mut specs: Vec<BackendSpec> = vec![
         BackendSpec::new("llsc/cas (Fig 3)", |t| {
@@ -271,6 +338,11 @@ pub fn standard_backends() -> Vec<BackendSpec> {
             Box::new(StackWorkload::new(builder(stack_capacity(t), t), t))
         }));
     }
+    for (name, builder) in queue_builders() {
+        specs.push(BackendSpec::new(name, move |t| {
+            Box::new(QueueWorkload::new(builder(stack_capacity(t), t), t))
+        }));
+    }
     specs
 }
 
@@ -279,13 +351,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_nine_distinct_backends() {
+    fn roster_has_thirteen_distinct_backends() {
         let specs = standard_backends();
-        assert_eq!(specs.len(), 9);
+        assert_eq!(specs.len(), 13);
         let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 13);
+        // Both structure families are present.
+        let queues = specs
+            .iter()
+            .filter(|s| s.name().starts_with("queue/"))
+            .count();
+        let stacks = specs
+            .iter()
+            .filter(|s| s.name().starts_with("stack/"))
+            .count();
+        assert_eq!((queues, stacks), (4, 4));
+    }
+
+    #[test]
+    fn queue_adapter_runs_every_op_including_rmw_on_an_empty_queue() {
+        for spec in standard_backends() {
+            if !spec.name().starts_with("queue/") {
+                continue;
+            }
+            let w = spec.build(2);
+            let mut ops = w.worker(1);
+            ops.rmw(10); // empty queue: drains nothing, publishes the transform
+            ops.write(1);
+            ops.write(2);
+            ops.rmw(10); // drains 10, re-publishes 20 behind 2
+            ops.read();
+            ops.read();
+            ops.read();
+            ops.read(); // now empty again
+        }
     }
 
     #[test]

@@ -28,30 +28,41 @@ pub struct EngineConfig {
     pub repetitions: usize,
     /// Sample the latency of every `latency_sample_period`-th operation
     /// (must be ≥ 1; 1 samples every operation).
+    ///
+    /// Prefer a *prime* period: the scenarios' op scripts are periodic in
+    /// `i` (period 2 for `churn`, 10 for `read-heavy`/`write-heavy`), and a
+    /// sampling stride sharing a factor with the op period aliases — an even
+    /// stride on `churn` samples only writes, so the reported p50/p99
+    /// exclude reads entirely.  The sampling phase is additionally staggered
+    /// by thread id (see [`should_sample`]) so that per-`tid` role splits
+    /// are covered too.
     pub latency_sample_period: usize,
 }
 
 impl EngineConfig {
-    /// The full E7 configuration: threads 1/2/4/8, median of 3 repetitions.
+    /// The full E7/E8 configuration: threads 1/2/4/8, median of 3
+    /// repetitions.  The sample period is prime — see
+    /// [`EngineConfig::latency_sample_period`].
     pub fn standard() -> Self {
         EngineConfig {
             thread_counts: vec![1, 2, 4, 8],
             ops_per_thread: 8_000,
             warmup_ops_per_thread: 1_000,
             repetitions: 3,
-            latency_sample_period: 16,
+            latency_sample_period: 13,
         }
     }
 
     /// A CI-sized configuration (`table_throughput --quick`): threads 1/2/4,
-    /// ~10× fewer operations, 2 repetitions.
+    /// ~10× fewer operations, 2 repetitions.  The sample period is prime —
+    /// see [`EngineConfig::latency_sample_period`].
     pub fn quick() -> Self {
         EngineConfig {
             thread_counts: vec![1, 2, 4],
             ops_per_thread: 800,
             warmup_ops_per_thread: 100,
             repetitions: 2,
-            latency_sample_period: 8,
+            latency_sample_period: 7,
         }
     }
 
@@ -123,8 +134,27 @@ struct RoundStats {
     latencies_ns: Vec<u64>,
 }
 
+/// Whether worker `tid` samples the latency of its `i`-th operation, for a
+/// stride of `period`.
+///
+/// The phase is staggered by thread id for two reasons: role-asymmetric
+/// scenarios (`signal-wait`, `producer-consumer`) assign ops by `tid`, so a
+/// common phase would over-represent whichever role thread 0 plays; and a
+/// shared phase makes all workers take their `Instant::now` calls in the
+/// same beat, correlating the sampling overhead with the contention being
+/// measured.  Regression: this used to be `i % period == 0`, which with the
+/// then-even default strides (16/8) aliased against the period-2 `churn`
+/// script and sampled only its writes — `latency_samples_cover_the_scenario_
+/// op_mix` fails on that logic.
+fn should_sample(tid: usize, i: usize, period: usize) -> bool {
+    i % period == tid % period
+}
+
 /// Run one round of `scenario` against `workload` with `threads` workers,
-/// `ops` operations each, sampling every `sample_period`-th latency.
+/// `ops` operations each, sampling every `sample_period`-th latency
+/// (staggered per thread); a period of 0 disables sampling entirely (used
+/// for warmup rounds, which would otherwise pay two `Instant::now` calls
+/// per sampled op for samples nobody reads).
 fn run_round(
     workload: &dyn crate::backend::Workload,
     scenario: Scenario,
@@ -150,7 +180,8 @@ fn run_round(
                     barrier.wait();
                     let started = Instant::now();
                     for i in 0..ops {
-                        let timer = (i % sample_period == 0).then(Instant::now);
+                        let timer = (sample_period != 0 && should_sample(tid, i, sample_period))
+                            .then(Instant::now);
                         match scenario.op(tid, i) {
                             Op::Read => worker.read(),
                             Op::Write(v) => worker.write(v),
@@ -226,12 +257,15 @@ pub fn run_cell(
     config.validate();
     let workload = backend.build(threads);
     if config.warmup_ops_per_thread > 0 {
+        // Sampling disabled (period 0): warmup samples are discarded, so
+        // collecting them would only add `Instant::now` and allocation
+        // traffic to the warmup.
         run_round(
             workload.as_ref(),
             scenario,
             threads,
             config.warmup_ops_per_thread,
-            config.latency_sample_period,
+            0,
         );
     }
     let mut throughputs = Vec::with_capacity(config.repetitions);
@@ -351,5 +385,115 @@ mod tests {
         config.repetitions = 0;
         let backends = standard_backends();
         let _ = run_cell(standard_scenarios()[0], &backends[0], 1, &config);
+    }
+
+    /// The op kinds one worker issues, and the subset the sampler picks, as
+    /// (read, write, rmw) counts.
+    fn op_mix(
+        scenario: crate::scenario::Scenario,
+        tid: usize,
+        ops: usize,
+        period: usize,
+    ) -> ([usize; 3], [usize; 3]) {
+        use crate::scenario::Op;
+        let mut total = [0usize; 3];
+        let mut sampled = [0usize; 3];
+        for i in 0..ops {
+            let slot = match scenario.op(tid, i) {
+                Op::Read => 0,
+                Op::Write(_) => 1,
+                Op::Rmw(_) => 2,
+            };
+            total[slot] += 1;
+            if should_sample(tid, i, period) {
+                sampled[slot] += 1;
+            }
+        }
+        (total, sampled)
+    }
+
+    /// Regression (verified to fail with the old `i % sample_period == 0`
+    /// logic and its even default periods 16/8): *every worker's* sampled
+    /// operations must have roughly the same read/write/rmw mix as the
+    /// operations that worker actually issues.  Pre-fix, `churn` (a period-2
+    /// op script) aliased with the even stride and sampled *only* writes, so
+    /// the reported p50/p99 excluded reads entirely.
+    #[test]
+    fn latency_samples_cover_the_scenario_op_mix() {
+        let ops = 9_100; // multiple of lcm(op periods 2/10, strides 13/7)
+        for period in [
+            EngineConfig::standard().latency_sample_period,
+            EngineConfig::quick().latency_sample_period,
+        ] {
+            for scenario in standard_scenarios() {
+                for tid in 0..4 {
+                    let (total, sampled) = op_mix(scenario, tid, ops, period);
+                    let sampled_n: usize = sampled.iter().sum();
+                    assert!(
+                        sampled_n > 0,
+                        "{} tid {tid}: nothing sampled",
+                        scenario.name()
+                    );
+                    for (kind, (&t, &s)) in ["read", "write", "rmw"]
+                        .iter()
+                        .zip(total.iter().zip(&sampled))
+                    {
+                        let share = t as f64 / ops as f64;
+                        let sampled_share = s as f64 / sampled_n as f64;
+                        assert!(
+                            (share - sampled_share).abs() < 0.05,
+                            "{} tid {tid} stride {period}: {kind} is {share:.2} of ops but {sampled_share:.2} of samples",
+                            scenario.name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_sample_periods_do_not_alias_with_op_patterns() {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        for config in [EngineConfig::standard(), EngineConfig::quick()] {
+            let period = config.latency_sample_period;
+            // The scenario scripts are periodic in i with periods 2 (churn)
+            // and 10 (read-heavy/write-heavy); a shared factor would alias.
+            for op_period in [2usize, 10] {
+                assert_eq!(
+                    gcd(period, op_period),
+                    1,
+                    "stride {period} aliases with op period {op_period}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_phase_is_staggered_by_thread() {
+        // All threads sampling the same beat would correlate the sampling
+        // overhead across workers; the phases must differ.
+        let period = 13;
+        let tid0: Vec<usize> = (0..100).filter(|&i| should_sample(0, i, period)).collect();
+        let tid1: Vec<usize> = (0..100).filter(|&i| should_sample(1, i, period)).collect();
+        assert!(!tid0.is_empty() && !tid1.is_empty());
+        assert!(tid0.iter().all(|i| !tid1.contains(i)));
+    }
+
+    #[test]
+    fn warmup_rounds_collect_no_latency_samples() {
+        // Regression: the warmup round used to run with the real sampling
+        // stride, paying two `Instant::now` calls per sampled op for samples
+        // it then discarded; period 0 disables sampling outright.
+        let backends = standard_backends();
+        let workload = backends[0].build(1);
+        let round = run_round(workload.as_ref(), standard_scenarios()[0], 1, 64, 0);
+        assert!(round.latencies_ns.is_empty());
+        assert_eq!(round.ops, 64);
     }
 }

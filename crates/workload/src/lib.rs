@@ -1,19 +1,22 @@
 //! # aba-workload
 //!
-//! The multi-threaded workload engine behind experiment E7: a deterministic
-//! [scenario](scenario::Scenario) registry crossed with a
-//! [backend](backend::BackendSpec) matrix over every `LlScObject`
-//! implementation and every Treiber-stack variant, swept across thread
-//! counts by a measurement [engine](engine::run_matrix) (warmup,
-//! median-of-k repetitions, per-thread counters merged after join, p50/p99
-//! latency sampling), with results rendered as aligned text tables and a
-//! machine-readable `BENCH_throughput.json` ([report]).
+//! The multi-threaded workload engine behind experiments E7 and E8: a
+//! deterministic [scenario](scenario::Scenario) registry (six symmetric
+//! traffic shapes plus the role-asymmetric `producer-consumer` and
+//! `pipeline`) crossed with a [backend](backend::BackendSpec) matrix over
+//! every `LlScObject` implementation, every Treiber-stack variant and every
+//! MS-queue variant, swept across thread counts by a measurement
+//! [engine](engine::run_matrix) (warmup, median-of-k repetitions, per-thread
+//! counters merged after join, p50/p99 latency sampling with a prime,
+//! per-thread-staggered stride), with results rendered as aligned text
+//! tables and a machine-readable `BENCH_throughput.json` ([report]).
 //!
 //! The paper has no wall-clock claims; what the matrix makes reproducible is
 //! the *shape*: O(1)-step implementations (announce-array, Moir, tagging)
 //! sustain their rate as threads grow, the O(n)-step Figure 3 object
-//! degrades fastest under contention, and the unprotected stack is fast but
-//! wrong (its correctness story is E6's, not E7's).
+//! degrades fastest under contention, and the unprotected stack and queue
+//! are fast but wrong (their correctness stories are E6's and E8's, not
+//! E7's).
 //!
 //! ```
 //! use aba_workload::{run_cell, standard_backends, standard_scenarios, EngineConfig};
@@ -23,7 +26,7 @@
 //!     ops_per_thread: 100,
 //!     warmup_ops_per_thread: 10,
 //!     repetitions: 1,
-//!     latency_sample_period: 8,
+//!     latency_sample_period: 7, // prime, so it cannot alias with op scripts
 //! };
 //! let backends = standard_backends();
 //! let cell = run_cell(standard_scenarios()[0], &backends[1], 2, &config);
@@ -40,7 +43,8 @@ pub mod report;
 pub mod scenario;
 
 pub use backend::{
-    standard_backends, BackendSpec, LlScWorkload, StackWorkload, Workload, WorkloadOps,
+    standard_backends, BackendSpec, LlScWorkload, QueueWorkload, StackWorkload, Workload,
+    WorkloadOps,
 };
 pub use engine::{run_cell, run_matrix, CellResult, EngineConfig, MatrixResult};
 pub use report::{render_tables, to_json, JSON_SCHEMA};

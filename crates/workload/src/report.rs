@@ -107,7 +107,7 @@ pub fn render_tables(result: &MatrixResult) -> String {
             rows.push(row);
         }
 
-        out.push_str(&format!("== E7 scenario: {scenario} ==\n"));
+        out.push_str(&format!("== E7/E8 scenario: {scenario} ==\n"));
         out.push_str(&render_aligned(&header, &rows));
         out.push('\n');
     }
@@ -217,8 +217,8 @@ mod tests {
     #[test]
     fn tables_have_one_section_per_scenario() {
         let text = render_tables(&sample_result());
-        assert!(text.contains("== E7 scenario: churn =="));
-        assert!(text.contains("== E7 scenario: rmw-storm =="));
+        assert!(text.contains("== E7/E8 scenario: churn =="));
+        assert!(text.contains("== E7/E8 scenario: rmw-storm =="));
         assert!(text.contains("llsc/announce"));
         assert!(text.contains("p99@2thr"));
     }

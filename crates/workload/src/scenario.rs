@@ -40,6 +40,15 @@ enum Kind {
     /// shared word keeps returning to an identical state — the pathological
     /// same-slot contention that maximises ABA opportunity.
     SameSlot,
+    /// Even threads produce (write/enqueue distinct values), odd threads
+    /// consume (read/dequeue): the canonical role-asymmetric FIFO traffic
+    /// the MS queue is built for, and the shape that keeps its free list
+    /// hottest (every consumed node is immediately recycled by a producer).
+    ProducerConsumer,
+    /// Every thread drains one value and re-publishes a transformed one
+    /// (rmw): a pipeline stage hand-off, where each element keeps flowing
+    /// through the structure.
+    Pipeline,
 }
 
 /// A named, deterministic traffic shape.
@@ -96,6 +105,14 @@ impl Scenario {
                 }
             }
             Kind::SameSlot => Op::Rmw(0),
+            Kind::ProducerConsumer => {
+                if tid.is_multiple_of(2) {
+                    Op::Write(((tid + i) & 0xFFFF) as u32)
+                } else {
+                    Op::Read
+                }
+            }
+            Kind::Pipeline => Op::Rmw((i & 0xFF) as u32 + 1),
         }
     }
 }
@@ -133,6 +150,16 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             description: "all threads RMW an identical value (pathological same-slot contention)",
             kind: Kind::SameSlot,
         },
+        Scenario {
+            name: "producer-consumer",
+            description: "even threads enqueue/push, odd threads dequeue/pop (FIFO hand-off)",
+            kind: Kind::ProducerConsumer,
+        },
+        Scenario {
+            name: "pipeline",
+            description: "every thread drains one value and re-publishes a transformed one",
+            kind: Kind::Pipeline,
+        },
     ]
 }
 
@@ -141,13 +168,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_six_distinct_scenarios() {
+    fn roster_has_eight_distinct_scenarios() {
         let roster = standard_scenarios();
-        assert_eq!(roster.len(), 6);
+        assert_eq!(roster.len(), 8);
         let mut names: Vec<_> = roster.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
     }
 
     #[test]
@@ -188,5 +215,37 @@ mod tests {
         let sw = roster.iter().find(|s| s.name() == "signal-wait").unwrap();
         assert!(matches!(sw.op(0, 3), Op::Write(_)));
         assert_eq!(sw.op(1, 3), Op::Read);
+    }
+
+    #[test]
+    fn producer_consumer_splits_roles_by_parity_with_distinct_values() {
+        let roster = standard_scenarios();
+        let pc = roster
+            .iter()
+            .find(|s| s.name() == "producer-consumer")
+            .unwrap();
+        for i in 0..32 {
+            assert!(matches!(pc.op(0, i), Op::Write(_)), "i={i}");
+            assert!(matches!(pc.op(2, i), Op::Write(_)), "i={i}");
+            assert_eq!(pc.op(1, i), Op::Read, "i={i}");
+            assert_eq!(pc.op(3, i), Op::Read, "i={i}");
+        }
+        // Producers publish changing values (not a constant pulse like
+        // signal-wait's).
+        assert_ne!(pc.op(0, 0), pc.op(0, 1));
+    }
+
+    #[test]
+    fn pipeline_is_pure_rmw_with_nonzero_transforms() {
+        let roster = standard_scenarios();
+        let p = roster.iter().find(|s| s.name() == "pipeline").unwrap();
+        for tid in 0..4 {
+            for i in 0..300 {
+                match p.op(tid, i) {
+                    Op::Rmw(v) => assert!(v >= 1, "transform must change the value"),
+                    other => panic!("pipeline issued {other:?}"),
+                }
+            }
+        }
     }
 }

@@ -13,7 +13,7 @@ fn small_config() -> EngineConfig {
         ops_per_thread: 150,
         warmup_ops_per_thread: 20,
         repetitions: 2,
-        latency_sample_period: 8,
+        latency_sample_period: 7,
     }
 }
 
@@ -48,6 +48,38 @@ fn matrix_shape_matches_the_rosters() {
     let config = small_config();
     let result = run_matrix(&scenarios[..2], &backends[..3], &config);
     assert_eq!(result.cells.len(), 2 * 3 * config.thread_counts.len());
+}
+
+#[test]
+fn role_asymmetric_scenarios_are_deterministic_on_queue_backends() {
+    // The E8 additions: producer-consumer and pipeline, driven against the
+    // MS-queue family, must have the same closed-form op accounting as the
+    // symmetric scenarios — role asymmetry shifts who does what, never how
+    // much is done.
+    let scenarios: Vec<_> = standard_scenarios()
+        .into_iter()
+        .filter(|s| matches!(s.name(), "producer-consumer" | "pipeline"))
+        .collect();
+    assert_eq!(
+        scenarios.len(),
+        2,
+        "both new scenarios must be in the roster"
+    );
+    let backends: Vec<_> = standard_backends()
+        .into_iter()
+        .filter(|b| b.name().starts_with("queue/"))
+        .collect();
+    assert_eq!(backends.len(), 4, "all four queue variants must be swept");
+
+    let config = small_config();
+    let first = run_matrix(&scenarios, &backends, &config);
+    let second = run_matrix(&scenarios, &backends, &config);
+    assert_eq!(first.cells.len(), 2 * 4 * config.thread_counts.len());
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert_eq!(a.ops_per_rep, b.ops_per_rep, "{}/{}", a.scenario, a.backend);
+        assert_eq!(a.ops_per_rep, (a.threads * config.ops_per_thread) as u64);
+        assert!(a.p50_ns <= a.p99_ns);
+    }
 }
 
 #[test]

@@ -14,9 +14,9 @@
 //! * [`lowerbound`] — covering experiments, violation witnesses, the
 //!   time–space tradeoff table;
 //! * [`hazard`] — hazard pointers;
-//! * [`lockfree`] — Treiber stacks with pluggable ABA protection and the
-//!   event-signal scenario;
-//! * [`workload`] — the multi-threaded workload engine (experiment E7):
+//! * [`lockfree`] — Treiber stacks and Michael–Scott queues with pluggable
+//!   ABA protection, plus the event-signal scenario;
+//! * [`workload`] — the multi-threaded workload engine (experiments E7/E8):
 //!   scenario × backend × thread-count throughput and latency matrix.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the

@@ -1,10 +1,11 @@
-//! Integration tests for the ABA-motivated workloads (E6 and the §1
+//! Integration tests for the ABA-motivated workloads (E6, E8 and the §1
 //! event-signal scenario) running on top of the core algorithms, plus the
-//! E7 workload engine driven through the facade.
+//! E7/E8 workload engine driven through the facade.
 
 use aba_repro::core::BoundedAbaRegister;
 use aba_repro::lockfree::{
-    all_stacks, stress_stack, EventSignal, HazardStack, LlScStack, NaiveEventSignal, TaggedStack,
+    all_queues, all_stacks, stress_queue, stress_stack, EventSignal, HazardQueue, HazardStack,
+    LlScQueue, LlScStack, NaiveEventSignal, TaggedQueue, TaggedStack,
 };
 use aba_repro::workload::{
     run_cell, run_matrix, standard_backends, standard_scenarios, EngineConfig,
@@ -35,6 +36,62 @@ fn stack_roster_runs_end_to_end() {
         // without deadlock and reports its accounting.
         assert!(report.pushed > 0);
         assert_eq!(report.threads, 2);
+    }
+}
+
+#[test]
+fn protected_queues_conserve_values_under_concurrency() {
+    let producers = 2;
+    let consumers = 2;
+    let threads = producers + consumers;
+    let ops = 4_000;
+    let capacity = 16;
+    let protected: Vec<Box<dyn aba_repro::lockfree::Queue>> = vec![
+        Box::new(TaggedQueue::new(capacity)),
+        Box::new(HazardQueue::new(capacity, threads)),
+        Box::new(LlScQueue::new(capacity, threads)),
+    ];
+    for queue in protected {
+        let report = stress_queue(queue.as_ref(), producers, consumers, ops);
+        assert!(report.is_conserved(), "{}: {report:?}", report.queue);
+        assert_eq!(report.aba_events, 0, "{}", report.queue);
+    }
+}
+
+#[test]
+fn queue_roster_runs_end_to_end() {
+    for queue in all_queues(12, 4) {
+        let report = stress_queue(queue.as_ref(), 2, 2, 2_000);
+        // Every variant, including the unprotected one, completes the stress
+        // without deadlock and reports its accounting.
+        assert!(report.enqueued > 0, "{}", report.queue);
+        assert_eq!(report.producers, 2);
+        assert_eq!(report.consumers, 2);
+    }
+}
+
+#[test]
+fn role_asymmetric_scenarios_drive_queue_backends_through_the_facade() {
+    let config = EngineConfig {
+        thread_counts: vec![2],
+        ops_per_thread: 200,
+        warmup_ops_per_thread: 20,
+        repetitions: 1,
+        latency_sample_period: 7,
+    };
+    let scenarios: Vec<_> = standard_scenarios()
+        .into_iter()
+        .filter(|s| matches!(s.name(), "producer-consumer" | "pipeline"))
+        .collect();
+    let backends: Vec<_> = standard_backends()
+        .into_iter()
+        .filter(|b| b.name().starts_with("queue/"))
+        .collect();
+    let result = run_matrix(&scenarios, &backends, &config);
+    assert_eq!(result.cells.len(), 2 * 4);
+    for cell in &result.cells {
+        assert_eq!(cell.ops_per_rep, (cell.threads * 200) as u64);
+        assert!(cell.ops_per_sec > 0.0);
     }
 }
 
