@@ -52,6 +52,21 @@ fn main() {
     );
 
     let result = run_matrix(&scenarios, &backends, &config);
+
+    // A backend that silently wedges (or a scheme whose reclamation starves
+    // the arena into a no-op loop) shows up as a zero-throughput cell; fail
+    // loudly instead of publishing it (CI greps the JSON for the same).
+    let dead: Vec<String> = result
+        .cells
+        .iter()
+        .filter(|c| c.ops_per_rep == 0 || c.ops_per_sec <= 0.0)
+        .map(|c| format!("{}/{}@{}thr", c.scenario, c.backend, c.threads))
+        .collect();
+    if !dead.is_empty() {
+        eprintln!("backends completed zero ops: {}", dead.join(", "));
+        std::process::exit(1);
+    }
+
     println!("{}", render_tables(&result));
     println!("Expected shape: constant-step implementations sustain their rate as threads grow; the Figure 3 single-CAS object degrades fastest under contention (its retry loop is Θ(n)); the unprotected stack and queue are fast but incorrect (see table_aba_incidence and the E8 conservation tests).");
 

@@ -87,6 +87,7 @@ impl HazardDomain {
             domain: self,
             tid,
             retired: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -140,6 +141,9 @@ pub struct HazardHandle<'a> {
     domain: &'a HazardDomain,
     tid: usize,
     retired: Vec<u64>,
+    /// Protector snapshot reused across scans: after the first scan at a
+    /// given domain size, scanning allocates nothing.
+    scratch: Vec<u64>,
 }
 
 impl HazardHandle<'_> {
@@ -215,20 +219,31 @@ impl HazardHandle<'_> {
             self.retired.append(&mut orphans);
         }
         // Snapshot and sort the protectors once, so the membership test for
-        // each of the R retired values is O(log P) instead of O(P).
-        let mut protected: Vec<u64> = (0..self.domain.threads())
-            .filter_map(|t| self.domain.protected_by(t))
-            .collect();
-        protected.sort_unstable();
-        let mut kept = Vec::with_capacity(self.retired.len());
-        for value in self.retired.drain(..) {
+        // each of the R retired values is O(log P) instead of O(P).  The
+        // snapshot lives in a per-handle scratch buffer whose capacity is
+        // reused across scans — a scan on a hot path allocates nothing.
+        self.scratch.clear();
+        self.scratch
+            .extend((0..self.domain.threads()).filter_map(|t| self.domain.protected_by(t)));
+        self.scratch.sort_unstable();
+        let protected = &self.scratch;
+        // Partition in place (`retain` keeps the survivors without a second
+        // allocation), freeing everything unprotected.
+        self.retired.retain(|&value| {
             if protected.binary_search(&value).is_ok() {
-                kept.push(value);
+                true
             } else {
                 free(value);
+                false
             }
-        }
-        self.retired = kept;
+        });
+    }
+
+    /// Current capacity of the reusable protector-snapshot buffer (test
+    /// hook: a stable value across scans proves scanning stopped
+    /// allocating).
+    pub fn scan_scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
     }
 }
 
@@ -447,6 +462,41 @@ mod tests {
         drop(h);
         // Nothing is orphaned: the caller owns the values now.
         assert_eq!(d.orphan_len(), 0);
+    }
+
+    #[test]
+    fn scan_reuses_its_scratch_buffer_no_per_scan_allocation_growth() {
+        // Regression (#[bench]-style): `scan` used to allocate a fresh
+        // protector Vec (plus a `kept` Vec) on every call.  Post-fix the
+        // protector snapshot lives in a per-handle scratch buffer and the
+        // retired list is partitioned in place, so after a warmup scan the
+        // buffer capacity must stay exactly flat across thousands of scans
+        // — any per-scan allocation would show up as capacity churn (or as
+        // a zero capacity while protectors exist).
+        let d = HazardDomain::new(16);
+        let protectors: Vec<_> = (0..15).map(|t| d.handle(t)).collect();
+        for (i, p) in protectors.iter().enumerate() {
+            p.protect(1_000_000 + i as u64); // disjoint from the retired range
+        }
+        let mut h = d.handle(15);
+        let mut freed = 0usize;
+        // Warmup: the first scan sizes the scratch buffer.
+        h.retire(1, |_| freed += 1);
+        h.flush(|_| freed += 1);
+        let warm_capacity = h.scan_scratch_capacity();
+        assert!(warm_capacity >= 15, "snapshot must cover the protectors");
+        for v in 2..2_000u64 {
+            h.retire(v, |_| freed += 1);
+            h.flush(|_| freed += 1);
+            assert_eq!(
+                h.scan_scratch_capacity(),
+                warm_capacity,
+                "scan {v} grew the scratch buffer"
+            );
+        }
+        assert_eq!(freed, 1_999, "every unprotected retiree was freed");
+        assert_eq!(h.retired_len(), 0);
+        drop(protectors);
     }
 
     #[test]

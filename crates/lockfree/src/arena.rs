@@ -15,24 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Index value meaning "null".
+/// Index value meaning "null".  (Identical to `aba_reclaim::NIL`: the
+/// reclamation schemes and the arena agree on the decoded-index domain.)
 pub const NIL: u64 = u64::MAX;
-
-/// Index *field* meaning "nil" inside a packed `(index, tag)` word — the
-/// counted-pointer representation shared by the tagged stack and queue.
-/// The layout (`(tag << 32) | index`) is load-bearing for their ABA
-/// protection, so both use this single definition.
-pub(crate) const IDX_NIL: u32 = u32::MAX;
-
-/// Pack an `(index, tag)` pair into one CAS-able word.
-pub(crate) fn pack(idx: u32, tag: u32) -> u64 {
-    ((tag as u64) << 32) | idx as u64
-}
-
-/// Unpack a counted word into its `(index, tag)` pair.
-pub(crate) fn unpack(raw: u64) -> (u32, u32) {
-    ((raw & 0xFFFF_FFFF) as u32, (raw >> 32) as u32)
-}
 
 #[derive(Debug)]
 struct Node {
@@ -130,14 +115,12 @@ impl NodeArena {
         self.nodes[idx as usize].next.store(next, Ordering::SeqCst);
     }
 
-    /// CAS a node's next link from `current` to `new`, returning whether the
-    /// exchange took place.  The Michael–Scott queues link new tail nodes
-    /// with this (the stacks only ever CAS the head word).
-    pub fn cas_next(&self, idx: u64, current: u64, new: u64) -> bool {
-        self.nodes[idx as usize]
-            .next
-            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+    /// The next-link word of a node, as the raw atomic.  The generic
+    /// structures hand this to their reclaimer's guard, which owns the word
+    /// *encoding* (bare index, or `(index, tag)` for the tagging scheme) —
+    /// the arena itself stays encoding-agnostic.
+    pub fn next_word(&self, idx: u64) -> &AtomicU64 {
+        &self.nodes[idx as usize].next
     }
 
     /// Read a node's generation counter.
@@ -210,13 +193,12 @@ mod tests {
     }
 
     #[test]
-    fn cas_next_succeeds_only_on_the_expected_value() {
+    fn next_word_exposes_the_same_atomic_as_the_accessors() {
         let arena = NodeArena::new(2);
         let idx = arena.alloc().unwrap();
-        arena.set_next(idx, NIL);
-        assert!(!arena.cas_next(idx, 7, 1));
+        arena.set_next(idx, 7);
+        assert_eq!(arena.next_word(idx).load(Ordering::SeqCst), 7);
+        arena.next_word(idx).store(NIL, Ordering::SeqCst);
         assert_eq!(arena.next(idx), NIL);
-        assert!(arena.cas_next(idx, NIL, 1));
-        assert_eq!(arena.next(idx), 1);
     }
 }

@@ -4,11 +4,12 @@
 //! usage patterns the paper's introduction cites as the reason ABA detection
 //! and prevention matter.
 //!
-//! * [`stack`] — Treiber stacks over a node arena with four head-pointer
-//!   strategies (unprotected, tagged, hazard pointers, LL/SC), experiment E6;
-//! * [`queue`] — Michael–Scott FIFO queues over the same arena with the same
-//!   four protection strategies (the dequeue CAS is the textbook ABA victim),
-//!   experiment E8;
+//! * [`stack`] — **one** generic Treiber stack over a node arena,
+//!   instantiated with five head-word strategies from `aba-reclaim`
+//!   (unprotected, tagged, hazard pointers, epoch, LL/SC), experiment E6;
+//! * [`queue`] — **one** generic Michael–Scott FIFO queue over the same
+//!   arena with the same five protection strategies (the dequeue CAS is the
+//!   textbook ABA victim), experiment E8;
 //! * [`stress`] — the multi-threaded stress harnesses and value-conservation
 //!   checks that quantify ABA damage;
 //! * [`event`] — the busy-wait / reset event-signalling scenario from §1,
@@ -38,8 +39,14 @@ pub(crate) fn preemption_window() {
     std::thread::yield_now();
 }
 pub use event::{EventSignal, NaiveEventSignal, Signaler, Waiter};
-pub use queue::{HazardQueue, LlScQueue, Queue, QueueHandle, TaggedQueue, UnprotectedQueue};
-pub use stack::{HazardStack, LlScStack, Stack, StackHandle, TaggedStack, UnprotectedStack};
+pub use queue::{
+    EpochQueue, GenericQueue, HazardQueue, LlScQueue, Queue, QueueHandle, TaggedQueue,
+    UnprotectedQueue,
+};
+pub use stack::{
+    EpochStack, GenericStack, HazardStack, LlScStack, Stack, StackHandle, TaggedStack,
+    UnprotectedStack,
+};
 pub use stress::{stress_queue, stress_stack, QueueStressReport, StressReport};
 
 /// A named constructor for one stack variant: `(capacity, threads) -> stack`.
@@ -51,7 +58,8 @@ pub type StackBuilder = Box<dyn Fn(usize, usize) -> Box<dyn Stack> + Send + Sync
 
 /// Named builders for the standard roster of stack variants, in E6 display
 /// order.  The names are stable registry keys (used in experiment tables and
-/// `BENCH_throughput.json`).
+/// `BENCH_throughput.json`); adding a scheme appends a key, it never renames
+/// one (the roster-golden test in `aba-workload` pins this).
 pub fn stack_builders() -> Vec<(&'static str, StackBuilder)> {
     vec![
         (
@@ -69,6 +77,10 @@ pub fn stack_builders() -> Vec<(&'static str, StackBuilder)> {
         (
             "stack/llsc-head",
             Box::new(|cap, threads| Box::new(LlScStack::new(cap, threads)) as Box<dyn Stack>),
+        ),
+        (
+            "stack/epoch",
+            Box::new(|cap, threads| Box::new(EpochStack::new(cap, threads)) as Box<dyn Stack>),
         ),
     ]
 }
@@ -107,6 +119,10 @@ pub fn queue_builders() -> Vec<(&'static str, QueueBuilder)> {
             "queue/llsc",
             Box::new(|cap, threads| Box::new(LlScQueue::new(cap, threads)) as Box<dyn Queue>),
         ),
+        (
+            "queue/epoch",
+            Box::new(|cap, threads| Box::new(EpochQueue::new(cap, threads)) as Box<dyn Queue>),
+        ),
     ]
 }
 
@@ -124,9 +140,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_contains_all_four_variants() {
+    fn roster_contains_all_five_variants() {
         let stacks = all_stacks(8, 2);
-        assert_eq!(stacks.len(), 4);
+        assert_eq!(stacks.len(), 5);
         for stack in &stacks {
             let mut h = stack.handle(0);
             assert!(h.push(1));
@@ -144,7 +160,8 @@ mod tests {
                 "stack/unprotected",
                 "stack/tagged",
                 "stack/hazard",
-                "stack/llsc-head"
+                "stack/llsc-head",
+                "stack/epoch",
             ]
         );
         for (_, build) in builders {
@@ -156,9 +173,9 @@ mod tests {
     }
 
     #[test]
-    fn queue_roster_contains_all_four_variants() {
+    fn queue_roster_contains_all_five_variants() {
         let queues = all_queues(8, 2);
-        assert_eq!(queues.len(), 4);
+        assert_eq!(queues.len(), 5);
         for queue in &queues {
             let mut h = queue.handle(0);
             assert!(h.enqueue(1));
@@ -176,7 +193,8 @@ mod tests {
                 "queue/unprotected",
                 "queue/tagged",
                 "queue/hazard",
-                "queue/llsc"
+                "queue/llsc",
+                "queue/epoch",
             ]
         );
         for (_, build) in builders {

@@ -3,24 +3,27 @@
 //! The MPMC FIFO queue is the canonical *second* ABA-sensitive structure
 //! after the Treiber stack: its dequeue reads `head`, reads `head.next`, and
 //! CASes `head` forward — the textbook window in which a recycled node makes
-//! the CAS succeed against a stale successor.  All four variants share the
-//! same [`NodeArena`] (one node is permanently consumed as the running dummy)
-//! and the same enqueue/dequeue structure; they differ only in how the
-//! `head`/`tail` words are manipulated, mirroring the stack roster:
+//! the CAS succeed against a stale successor.  As with the stack, there is
+//! exactly **one** enqueue/dequeue implementation — [`GenericQueue`]`<R>` —
+//! over the shared [`NodeArena`] (one node is permanently consumed as the
+//! running dummy); the five scheme instantiations differ only in the
+//! [`Reclaimer`] type parameter:
 //!
-//! | Variant | Head/tail representation | ABA handling | Expected outcome |
-//! |---------|--------------------------|--------------|------------------|
-//! | [`UnprotectedQueue`] | bare indices, nodes recycled immediately | none | ABA events, lost/duplicated values |
-//! | [`TaggedQueue`] | (index, tag) counted words (head, tail *and* next links) | unbounded tag (§1 tagging) | correct |
-//! | [`HazardQueue`] | bare indices + two hazard pointers per thread | reclamation deferral [20, 21] | correct |
-//! | [`LlScQueue`] | head and tail are LL/SC/VL objects ([`AnnounceLlSc`]) | LL/SC semantics (Theorem 2 context) | correct |
+//! | Alias | Reclaimer | ABA handling | Expected outcome |
+//! |-------|-----------|--------------|------------------|
+//! | [`UnprotectedQueue`] | [`NoReclaim`] | none | ABA events, lost/duplicated values |
+//! | [`TaggedQueue`] | [`TagReclaim`] | counted head/tail *and* next words | correct |
+//! | [`HazardQueue`] | [`HazardReclaim`] | two hazards per thread [20, 21] | correct |
+//! | [`EpochQueue`] | [`EpochReclaim`] | epoch / quiescence reclamation | correct |
+//! | [`LlScQueue`] | [`LlScReclaim`] | LL/SC head and tail words | correct |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use aba_core::AnnounceLlSc;
-use aba_hazard::HazardDomain;
+use aba_reclaim::{
+    EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
+};
 
-use crate::arena::{pack, unpack, NodeArena, IDX_NIL, NIL};
+use crate::arena::{NodeArena, NIL};
 use crate::preemption_window;
 
 /// A bounded, concurrent FIFO with per-thread handles.
@@ -32,6 +35,9 @@ pub trait Queue: Send + Sync {
     /// Number of ABA events detected so far (always 0 for the protected
     /// variants).
     fn aba_events(&self) -> u64;
+    /// Nodes retired but not yet returned to the arena — the protection
+    /// scheme's space overhead (0 for immediate-free schemes).
+    fn unreclaimed(&self) -> u64;
     /// Obtain the per-thread handle for `tid`.
     fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_>;
 }
@@ -46,377 +52,130 @@ pub trait QueueHandle: Send {
     fn dequeue(&mut self) -> Option<u32>;
 }
 
-// ---------------------------------------------------------------------------
-// Unprotected: the ABA-prone strawman.
-// ---------------------------------------------------------------------------
+/// Protection lane guarding the head/tail anchor a thread traverses.
+const LANE_ANCHOR: usize = 0;
+/// Protection lane guarding `head.next` while its value is read.
+const LANE_SUCCESSOR: usize = 1;
 
-/// MS queue with bare-index head/tail and immediate node recycling — the
-/// dequeue CAS is the textbook ABA victim.
-///
-/// An ABA can corrupt the linked structure itself (e.g. link a cycle), which
-/// would make the standard unbounded retry loops spin forever; to keep the
-/// experiment observable rather than wedging the harness, both operations
-/// bail out after a bounded number of retries, counting the bailout as an
-/// ABA event.
+/// Michael–Scott queue over a [`NodeArena`], generic in its ABA-protection /
+/// reclamation scheme `R`.  Head and tail words live inside the reclaimer
+/// (which owns their encoding — for the tagging scheme the per-node next
+/// links are counted words too); enqueue and dequeue are the textbook
+/// helping loops with every shared access routed through the per-thread
+/// [`Guard`].
 #[derive(Debug)]
-pub struct UnprotectedQueue {
+pub struct GenericQueue<R: Reclaimer> {
     arena: NodeArena,
-    head: AtomicU64,
-    tail: AtomicU64,
+    reclaim: R,
+    head: SlotId,
+    tail: SlotId,
     aba_events: AtomicU64,
 }
 
-impl UnprotectedQueue {
+impl<R: Reclaimer> GenericQueue<R> {
     /// A queue that can hold `capacity` values (one extra arena node serves
-    /// as the dummy).
-    pub fn new(capacity: usize) -> Self {
+    /// as the dummy), used by at most `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` is 0 or too large for the scheme's index
+    /// field.
+    pub fn with_threads(capacity: usize, threads: usize) -> Self {
+        assert!(capacity + 1 < u32::MAX as usize, "capacity too large");
         let arena = NodeArena::new(capacity + 1);
         let dummy = arena.alloc().expect("fresh arena");
-        arena.set_next(dummy, NIL);
-        UnprotectedQueue {
+        // A fresh node's next word is already the nil raw under every
+        // scheme's encoding, so no link initialisation is needed here.
+        let mut reclaim = R::new(threads, 2);
+        let head = reclaim.add_slot(dummy);
+        let tail = reclaim.add_slot(dummy);
+        GenericQueue {
             arena,
-            head: AtomicU64::new(dummy),
-            tail: AtomicU64::new(dummy),
+            reclaim,
+            head,
+            tail,
             aba_events: AtomicU64::new(0),
         }
     }
 
-    fn retry_limit(&self) -> usize {
-        8 * self.arena.capacity() + 256
+    /// The reclamation scheme's short name ("unprotected", "epoch", …).
+    pub fn scheme(&self) -> &'static str {
+        self.reclaim.scheme()
     }
 }
 
-impl Queue for UnprotectedQueue {
+impl<R: Reclaimer> Queue for GenericQueue<R> {
     fn capacity(&self) -> usize {
         self.arena.capacity() - 1
     }
 
     fn name(&self) -> &'static str {
-        "MS queue (unprotected)"
+        self.reclaim.queue_label()
     }
 
     fn aba_events(&self) -> u64 {
         self.aba_events.load(Ordering::SeqCst)
     }
 
-    fn handle(&self, _tid: usize) -> Box<dyn QueueHandle + '_> {
-        Box::new(UnprotectedQueueHandle { queue: self })
-    }
-}
-
-#[derive(Debug)]
-struct UnprotectedQueueHandle<'a> {
-    queue: &'a UnprotectedQueue,
-}
-
-impl QueueHandle for UnprotectedQueueHandle<'_> {
-    fn enqueue(&mut self, value: u32) -> bool {
-        let q = self.queue;
-        let arena = &q.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        arena.set_next(idx, NIL);
-        for _ in 0..q.retry_limit() {
-            let tail = q.tail.load(Ordering::SeqCst);
-            let next = arena.next(tail);
-            if q.tail.load(Ordering::SeqCst) != tail {
-                continue;
-            }
-            if next == NIL {
-                preemption_window();
-                if arena.cas_next(tail, NIL, idx) {
-                    let _ = q
-                        .tail
-                        .compare_exchange(tail, idx, Ordering::SeqCst, Ordering::SeqCst);
-                    return true;
-                }
-            } else {
-                // Tail is lagging: help it forward.
-                let _ = q
-                    .tail
-                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
-            }
-        }
-        // Retry budget exhausted: an ABA corrupted the chain (e.g. tail sits
-        // on a cycle).  Give the node back and report the event.
-        q.aba_events.fetch_add(1, Ordering::SeqCst);
-        arena.free(idx);
-        false
-    }
-
-    fn dequeue(&mut self) -> Option<u32> {
-        let q = self.queue;
-        let arena = &q.arena;
-        for _ in 0..q.retry_limit() {
-            let head = q.head.load(Ordering::SeqCst);
-            let tail = q.tail.load(Ordering::SeqCst);
-            // Remember the dummy's identity (generation) at read time …
-            let generation = arena.generation(head);
-            let next = arena.next(head);
-            if q.head.load(Ordering::SeqCst) != head {
-                continue;
-            }
-            if head == tail {
-                if next == NIL {
-                    return None;
-                }
-                let _ = q
-                    .tail
-                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
-                continue;
-            }
-            if next == NIL {
-                // head lagging behind a moved tail: inconsistent snapshot.
-                continue;
-            }
-            let value = arena.value(next);
-            preemption_window();
-            if q.head
-                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                // … and detect, post hoc, that the CAS succeeded on a dummy
-                // that was recycled in between: the `next` we installed may be
-                // stale and the chain already corrupted — that is the
-                // experiment.
-                if arena.generation(head) != generation {
-                    q.aba_events.fetch_add(1, Ordering::SeqCst);
-                }
-                arena.free(head);
-                return Some(value);
-            }
-        }
-        q.aba_events.fetch_add(1, Ordering::SeqCst);
-        None
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tagged: §1 tagging with counted head, tail and next words.
-// ---------------------------------------------------------------------------
-
-/// MS queue whose head, tail *and* per-node next links are `(index, tag)`
-/// counted words; every successful CAS bumps the word's tag, so a recycled
-/// index can never be confused with its previous incarnation (the tag of a
-/// node's next link survives recycling).
-#[derive(Debug)]
-pub struct TaggedQueue {
-    arena: NodeArena,
-    head: AtomicU64,
-    tail: AtomicU64,
-}
-
-impl TaggedQueue {
-    /// A queue that can hold `capacity` values (one extra arena node serves
-    /// as the dummy).
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity + 1 < IDX_NIL as usize, "capacity too large");
-        let arena = NodeArena::new(capacity + 1);
-        let dummy = arena.alloc().expect("fresh arena");
-        arena.set_next(dummy, pack(IDX_NIL, 0));
-        TaggedQueue {
-            head: AtomicU64::new(pack(dummy as u32, 0)),
-            tail: AtomicU64::new(pack(dummy as u32, 0)),
-            arena,
-        }
-    }
-}
-
-impl Queue for TaggedQueue {
-    fn capacity(&self) -> usize {
-        self.arena.capacity() - 1
-    }
-
-    fn name(&self) -> &'static str {
-        "MS queue (tagged)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
-    }
-
-    fn handle(&self, _tid: usize) -> Box<dyn QueueHandle + '_> {
-        Box::new(TaggedQueueHandle { queue: self })
-    }
-}
-
-#[derive(Debug)]
-struct TaggedQueueHandle<'a> {
-    queue: &'a TaggedQueue,
-}
-
-impl QueueHandle for TaggedQueueHandle<'_> {
-    fn enqueue(&mut self, value: u32) -> bool {
-        let q = self.queue;
-        let arena = &q.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        // Preserve (and bump) the node's next-link tag across recycling, so a
-        // stale CAS aimed at this node's previous incarnation cannot succeed.
-        let (_, next_tag) = unpack(arena.next(idx));
-        arena.set_next(idx, pack(IDX_NIL, next_tag.wrapping_add(1)));
-        loop {
-            let tail_raw = q.tail.load(Ordering::SeqCst);
-            let (tail_idx, tail_tag) = unpack(tail_raw);
-            let next_raw = arena.next(tail_idx as u64);
-            let (next_idx, next_tag) = unpack(next_raw);
-            if q.tail.load(Ordering::SeqCst) != tail_raw {
-                continue;
-            }
-            if next_idx == IDX_NIL {
-                preemption_window();
-                if arena.cas_next(
-                    tail_idx as u64,
-                    next_raw,
-                    pack(idx as u32, next_tag.wrapping_add(1)),
-                ) {
-                    let _ = q.tail.compare_exchange(
-                        tail_raw,
-                        pack(idx as u32, tail_tag.wrapping_add(1)),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
-                    return true;
-                }
-            } else {
-                let _ = q.tail.compare_exchange(
-                    tail_raw,
-                    pack(next_idx, tail_tag.wrapping_add(1)),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
-            }
-        }
-    }
-
-    fn dequeue(&mut self) -> Option<u32> {
-        let q = self.queue;
-        let arena = &q.arena;
-        loop {
-            let head_raw = q.head.load(Ordering::SeqCst);
-            let (head_idx, head_tag) = unpack(head_raw);
-            let tail_raw = q.tail.load(Ordering::SeqCst);
-            let (tail_idx, tail_tag) = unpack(tail_raw);
-            let (next_idx, _) = unpack(arena.next(head_idx as u64));
-            if q.head.load(Ordering::SeqCst) != head_raw {
-                continue;
-            }
-            if head_idx == tail_idx {
-                if next_idx == IDX_NIL {
-                    return None;
-                }
-                let _ = q.tail.compare_exchange(
-                    tail_raw,
-                    pack(next_idx, tail_tag.wrapping_add(1)),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
-                continue;
-            }
-            if next_idx == IDX_NIL {
-                continue;
-            }
-            let value = arena.value(next_idx as u64);
-            preemption_window();
-            if q.head
-                .compare_exchange(
-                    head_raw,
-                    pack(next_idx, head_tag.wrapping_add(1)),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                )
-                .is_ok()
-            {
-                arena.free(head_idx as u64);
-                return Some(value);
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Hazard pointers: reclamation-based prevention (Michael's queue protocol).
-// ---------------------------------------------------------------------------
-
-/// MS queue with bare-index head/tail protected by hazard pointers: each
-/// thread publishes up to two hazards (the node whose link it traverses and
-/// that node's successor), and a dequeued dummy is retired rather than freed.
-#[derive(Debug)]
-pub struct HazardQueue {
-    arena: NodeArena,
-    head: AtomicU64,
-    tail: AtomicU64,
-    /// Two hazard slots per thread: `2·tid` guards head/tail anchors,
-    /// `2·tid + 1` guards the successor whose value is read.
-    domain: HazardDomain,
-}
-
-impl HazardQueue {
-    /// A queue holding `capacity` values, used by at most `threads` threads.
-    pub fn new(capacity: usize, threads: usize) -> Self {
-        let arena = NodeArena::new(capacity + 1);
-        let dummy = arena.alloc().expect("fresh arena");
-        arena.set_next(dummy, NIL);
-        HazardQueue {
-            head: AtomicU64::new(dummy),
-            tail: AtomicU64::new(dummy),
-            domain: HazardDomain::new(2 * threads.max(1)),
-            arena,
-        }
-    }
-}
-
-impl Queue for HazardQueue {
-    fn capacity(&self) -> usize {
-        self.arena.capacity() - 1
-    }
-
-    fn name(&self) -> &'static str {
-        "MS queue (hazard pointers)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
+    fn unreclaimed(&self) -> u64 {
+        self.reclaim.unreclaimed()
     }
 
     fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_> {
-        Box::new(HazardQueueHandle {
+        Box::new(GenericQueueHandle {
             queue: self,
-            anchor: self.domain.handle(2 * tid),
-            successor: self.domain.handle(2 * tid + 1),
+            guard: self.reclaim.guard(tid, self.arena.capacity()),
         })
     }
 }
 
-struct HazardQueueHandle<'a> {
-    queue: &'a HazardQueue,
-    /// Guards the head (dequeue) or tail (enqueue) node being traversed; also
-    /// carries the retired list.
-    anchor: aba_hazard::HazardHandle<'a>,
-    /// Guards `head.next` while its value is read.
-    successor: aba_hazard::HazardHandle<'a>,
+struct GenericQueueHandle<'a, R: Reclaimer> {
+    queue: &'a GenericQueue<R>,
+    guard: R::Guard<'a>,
 }
 
-impl std::fmt::Debug for HazardQueueHandle<'_> {
+impl<R: Reclaimer> std::fmt::Debug for GenericQueueHandle<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HazardQueueHandle").finish_non_exhaustive()
+        f.debug_struct("GenericQueueHandle").finish_non_exhaustive()
     }
 }
 
-impl QueueHandle for HazardQueueHandle<'_> {
+/// Iteration budget for one operation: unbounded for the protected schemes,
+/// finite for the unprotected one (whose ABA can cycle the links and wedge
+/// an unbounded loop).
+struct Budget(Option<usize>);
+
+impl Budget {
+    /// Consume one iteration; `false` means the budget is exhausted.
+    fn spend(&mut self) -> bool {
+        match &mut self.0 {
+            None => true,
+            Some(0) => false,
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> GenericQueueHandle<'_, R> {
+    fn budget(&self) -> Budget {
+        Budget(self.queue.reclaim.retry_bound(self.queue.arena.capacity()))
+    }
+}
+
+impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
     fn enqueue(&mut self, value: u32) -> bool {
         let q = self.queue;
         let arena = &q.arena;
         let idx = match arena.alloc() {
             Some(idx) => idx,
             None => {
-                // The arena may be exhausted only because this handle still
-                // holds retired-but-unprotected nodes; reclaim and retry once.
-                self.anchor.flush(|i| arena.free(i));
+                // The arena may be exhausted only because the scheme still
+                // holds retired-but-reclaimable nodes; reclaim and retry
+                // once (a no-op for the immediate-free schemes).
+                self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
                     None => return false,
@@ -424,213 +183,167 @@ impl QueueHandle for HazardQueueHandle<'_> {
             }
         };
         arena.set_value(idx, value);
-        arena.set_next(idx, NIL);
-        loop {
-            let tail = q.tail.load(Ordering::SeqCst);
-            // Protect, then re-validate that the tail did not move before the
-            // hazard was published (the standard protocol).
-            self.anchor.protect(tail);
-            if q.tail.load(Ordering::SeqCst) != tail {
+        // Re-nil our node's next link through the guard: the tagging scheme
+        // preserves (and bumps) the link's tag across recycling here, which
+        // is what defeats a stale CAS aimed at this node's previous
+        // incarnation.
+        self.guard.store_link(arena.next_word(idx), NIL);
+        let mut budget = self.budget();
+        while budget.spend() {
+            let tail_raw = self.guard.protect(LANE_ANCHOR, q.tail);
+            let tail = self.guard.index_of(tail_raw);
+            let next_raw = self.guard.load_link(arena.next_word(tail));
+            if !self.guard.validate(q.tail, tail_raw) {
                 continue;
             }
-            let next = arena.next(tail);
+            let next = self.guard.index_of(next_raw);
             if next != NIL {
-                let _ = q
-                    .tail
-                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                // Tail is lagging: help it forward.
+                let _ = self.guard.cas(q.tail, tail_raw, next);
                 continue;
             }
             preemption_window();
-            if arena.cas_next(tail, NIL, idx) {
-                let _ = q
-                    .tail
-                    .compare_exchange(tail, idx, Ordering::SeqCst, Ordering::SeqCst);
-                self.anchor.clear();
+            if self.guard.cas_link(arena.next_word(tail), next_raw, idx) {
+                let _ = self.guard.cas(q.tail, tail_raw, idx);
+                self.guard.quiesce();
                 return true;
             }
         }
+        // Retry budget exhausted: an ABA corrupted the chain (e.g. tail sits
+        // on a cycle).  Give the node back and report the event.
+        q.aba_events.fetch_add(1, Ordering::SeqCst);
+        self.guard.quiesce();
+        arena.free(idx);
+        false
     }
 
     fn dequeue(&mut self) -> Option<u32> {
         let q = self.queue;
         let arena = &q.arena;
-        loop {
-            let head = q.head.load(Ordering::SeqCst);
-            self.anchor.protect(head);
-            if q.head.load(Ordering::SeqCst) != head {
+        let mut budget = self.budget();
+        while budget.spend() {
+            let head_raw = self.guard.protect(LANE_ANCHOR, q.head);
+            let head = self.guard.index_of(head_raw);
+            let tail_raw = self.guard.load(q.tail);
+            let tail = self.guard.index_of(tail_raw);
+            // Remember the dummy's identity (generation) at read time; the
+            // post-CAS comparison detects, post hoc, a CAS that succeeded on
+            // a recycled dummy — the textbook dequeue ABA.  Protected
+            // schemes never trip it.
+            let generation = arena.generation(head);
+            let next_raw = self.guard.load_link(arena.next_word(head));
+            if !self.guard.validate(q.head, head_raw) {
                 continue;
             }
-            let tail = q.tail.load(Ordering::SeqCst);
-            let next = arena.next(head);
+            let next = self.guard.index_of(next_raw);
             if next == NIL {
                 if head == tail {
-                    // Clear *both* hazards: a successor protected by an
-                    // earlier, abandoned iteration must not outlive the
-                    // operation, or it pins that node in the arena for as
-                    // long as this handle stays idle.
-                    self.anchor.clear();
-                    self.successor.clear();
+                    self.guard.quiesce();
                     return None;
                 }
+                // head lagging behind a moved tail: inconsistent snapshot.
                 continue;
             }
-            // Protect the successor, then re-validate that `head` did not
-            // move: only then was `next` really `head.next` while both
-            // hazards were visible.
-            self.successor.protect(next);
-            if q.head.load(Ordering::SeqCst) != head {
+            // Extend protection to the successor, re-anchored on the head:
+            // only if the head has not moved was `next` really `head.next`
+            // while both protections were visible.
+            if !self
+                .guard
+                .protect_link(LANE_SUCCESSOR, next, q.head, head_raw)
+            {
                 continue;
             }
             if head == tail {
-                let _ = q
-                    .tail
-                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                let _ = self.guard.cas(q.tail, tail_raw, next);
                 continue;
             }
+            // Read the value *before* the CAS: once the head is swung the
+            // node may be dequeued (and under immediate-free schemes,
+            // recycled) by anyone.
             let value = arena.value(next);
             preemption_window();
-            if q.head
-                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                self.anchor.clear();
-                self.successor.clear();
-                // Retire instead of freeing: the old dummy returns to the
-                // arena only when nobody protects it.  Small arenas need
-                // eager reclamation, so flush whenever the retired list holds
-                // a meaningful share of the arena.
-                self.anchor.retire(head, |i| arena.free(i));
-                if self.anchor.retired_len() * 4 >= arena.capacity() {
-                    self.anchor.flush(|i| arena.free(i));
+            if self.guard.cas(q.head, head_raw, next) {
+                if arena.generation(head) != generation {
+                    q.aba_events.fetch_add(1, Ordering::SeqCst);
                 }
+                self.guard.retire(head, |i| arena.free(i));
                 return Some(value);
             }
-            self.successor.clear();
         }
+        q.aba_events.fetch_add(1, Ordering::SeqCst);
+        self.guard.quiesce();
+        None
     }
 }
 
-impl Drop for HazardQueueHandle<'_> {
+impl<R: Reclaimer> Drop for GenericQueueHandle<'_, R> {
     fn drop(&mut self) {
         let arena = &self.queue.arena;
-        self.anchor.clear();
-        self.successor.clear();
-        self.anchor.flush(|i| arena.free(i));
-        // Anything still protected by another thread is orphaned into the
-        // domain by the inner handles' drop and adopted by a later scan.
+        self.guard.quiesce();
+        self.guard.reclaim_pressure(|i| arena.free(i));
+        // Whatever a deferred scheme still cannot free is orphaned onto its
+        // domain by the guard's own drop and adopted by a later reclaim.
     }
 }
 
-// ---------------------------------------------------------------------------
-// LL/SC head and tail: the paper's primitive as the fix.
-// ---------------------------------------------------------------------------
+/// MS queue with bare-index head/tail and immediate node recycling — the
+/// dequeue CAS is the textbook ABA victim.  Operations bail out after a
+/// bounded number of retries (counting the bailout as an ABA event) so a
+/// corrupted chain cannot wedge the harness.
+pub type UnprotectedQueue = GenericQueue<NoReclaim>;
 
-/// MS queue whose head and tail are LL/SC/VL objects ([`AnnounceLlSc`]): any
-/// SC fails whenever a successful SC intervened since the LL, so a recycled
-/// index can never be confused with its previous incarnation on either end.
-#[derive(Debug)]
-pub struct LlScQueue {
-    arena: NodeArena,
-    head: AnnounceLlSc,
-    tail: AnnounceLlSc,
+/// MS queue whose head, tail *and* per-node next links are `(index, tag)`
+/// counted words; every successful CAS bumps the word's tag (§1 tagging).
+pub type TaggedQueue = GenericQueue<TagReclaim>;
+
+/// MS queue with bare-index head/tail protected by hazard pointers: each
+/// thread publishes up to two hazards, and a dequeued dummy is retired
+/// rather than freed.
+pub type HazardQueue = GenericQueue<HazardReclaim>;
+
+/// MS queue under epoch-based reclamation: every operation pins the current
+/// epoch, and a dequeued dummy returns to the arena only after two advances.
+pub type EpochQueue = GenericQueue<EpochReclaim>;
+
+/// MS queue whose head and tail are LL/SC/VL objects: any SC fails whenever
+/// a successful SC intervened since the LL, so a recycled index can never be
+/// confused with its previous incarnation on either end.
+pub type LlScQueue = GenericQueue<LlScReclaim>;
+
+impl GenericQueue<NoReclaim> {
+    /// A queue that can hold `capacity` values (one extra arena node serves
+    /// as the dummy).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
 }
 
-impl LlScQueue {
+impl GenericQueue<TagReclaim> {
+    /// A queue that can hold `capacity` values (one extra arena node serves
+    /// as the dummy).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
+}
+
+impl GenericQueue<HazardReclaim> {
     /// A queue holding `capacity` values, used by at most `threads` threads.
     pub fn new(capacity: usize, threads: usize) -> Self {
-        assert!(capacity + 1 < u32::MAX as usize, "capacity too large");
-        let arena = NodeArena::new(capacity + 1);
-        let dummy = arena.alloc().expect("fresh arena");
-        arena.set_next(dummy, NIL);
-        LlScQueue {
-            head: AnnounceLlSc::with_initial(threads, dummy as u32),
-            tail: AnnounceLlSc::with_initial(threads, dummy as u32),
-            arena,
-        }
+        Self::with_threads(capacity, threads)
     }
 }
 
-impl Queue for LlScQueue {
-    fn capacity(&self) -> usize {
-        self.arena.capacity() - 1
-    }
-
-    fn name(&self) -> &'static str {
-        "MS queue (LL/SC head+tail)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
-    }
-
-    fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_> {
-        Box::new(LlScQueueHandle {
-            queue: self,
-            head: self.head.handle(tid),
-            tail: self.tail.handle(tid),
-        })
+impl GenericQueue<EpochReclaim> {
+    /// A queue holding `capacity` values, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
     }
 }
 
-#[derive(Debug)]
-struct LlScQueueHandle<'a> {
-    queue: &'a LlScQueue,
-    head: aba_core::AnnounceLlScHandle<'a>,
-    tail: aba_core::AnnounceLlScHandle<'a>,
-}
-
-impl QueueHandle for LlScQueueHandle<'_> {
-    fn enqueue(&mut self, value: u32) -> bool {
-        let arena = &self.queue.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        arena.set_next(idx, NIL);
-        loop {
-            let tail = self.tail.ll();
-            let next = arena.next(tail as u64);
-            if !self.tail.vl() {
-                continue;
-            }
-            if next != NIL {
-                let _ = self.tail.sc(next as u32);
-                continue;
-            }
-            preemption_window();
-            if arena.cas_next(tail as u64, NIL, idx) {
-                let _ = self.tail.sc(idx as u32);
-                return true;
-            }
-        }
-    }
-
-    fn dequeue(&mut self) -> Option<u32> {
-        let arena = &self.queue.arena;
-        loop {
-            let head = self.head.ll();
-            let tail = self.tail.ll();
-            let next = arena.next(head as u64);
-            if !self.head.vl() {
-                continue;
-            }
-            if head == tail {
-                if next == NIL {
-                    return None;
-                }
-                let _ = self.tail.sc(next as u32);
-                continue;
-            }
-            if next == NIL {
-                continue;
-            }
-            let value = arena.value(next);
-            preemption_window();
-            if self.head.sc(next as u32) {
-                arena.free(head as u64);
-                return Some(value);
-            }
-        }
+impl GenericQueue<LlScReclaim> {
+    /// A queue holding `capacity` values, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
     }
 }
 
@@ -654,6 +367,7 @@ mod tests {
         fifo_smoke(&UnprotectedQueue::new(8));
         fifo_smoke(&TaggedQueue::new(8));
         fifo_smoke(&HazardQueue::new(8, 2));
+        fifo_smoke(&EpochQueue::new(8, 2));
         fifo_smoke(&LlScQueue::new(8, 2));
     }
 
@@ -676,6 +390,7 @@ mod tests {
         for queue in [
             Box::new(TaggedQueue::new(4)) as Box<dyn Queue>,
             Box::new(HazardQueue::new(4, 1)),
+            Box::new(EpochQueue::new(4, 1)),
             Box::new(LlScQueue::new(4, 1)),
         ] {
             let mut h = queue.handle(0);
@@ -695,12 +410,13 @@ mod tests {
             UnprotectedQueue::new(1).name(),
             TaggedQueue::new(1).name(),
             HazardQueue::new(1, 1).name(),
+            EpochQueue::new(1, 1).name(),
             LlScQueue::new(1, 1).name(),
         ];
         let mut unique = names.to_vec();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 4);
+        assert_eq!(unique.len(), 5);
     }
 
     #[test]
@@ -724,23 +440,37 @@ mod tests {
     }
 
     #[test]
+    fn epoch_queue_returns_nodes_to_arena_on_handle_drop() {
+        let queue = EpochQueue::new(4, 2);
+        {
+            let mut h = queue.handle(0);
+            for i in 0..4 {
+                assert!(h.enqueue(i));
+            }
+            for _ in 0..4 {
+                assert!(h.dequeue().is_some());
+            }
+        }
+        let mut h = queue.handle(1);
+        for i in 0..4 {
+            assert!(h.enqueue(i), "node for value {i} was not reclaimed");
+        }
+    }
+
+    #[test]
     fn empty_dequeue_clears_both_hazard_slots() {
         // Regression: an iteration abandoned after protecting the successor
         // (head re-validation failed) could leave that hazard published when
         // a later iteration returned `None`, pinning the node in the arena
         // for as long as the handle stayed idle.
-        let queue = HazardQueue::new(4, 1);
+        let queue = HazardQueue::new(4, 2);
         let mut h = queue.handle(0);
         assert!(h.enqueue(7));
         assert_eq!(h.dequeue(), Some(7));
-        // Simulate the abandoned iteration: occupy the successor slot
-        // (2·tid + 1) before the empty dequeue runs.
-        let ghost = queue.domain.handle(1);
-        ghost.protect(3);
         assert_eq!(h.dequeue(), None);
-        assert_eq!(queue.domain.protected_by(0), None);
-        assert_eq!(queue.domain.protected_by(1), None);
-        drop(ghost);
+        let domain = queue.reclaim.domain();
+        assert_eq!(domain.protected_by(0), None);
+        assert_eq!(domain.protected_by(1), None);
     }
 
     #[test]
@@ -749,6 +479,7 @@ mod tests {
             Box::new(UnprotectedQueue::new(8)) as Box<dyn Queue>,
             Box::new(TaggedQueue::new(8)),
             Box::new(HazardQueue::new(8, 1)),
+            Box::new(EpochQueue::new(8, 1)),
             Box::new(LlScQueue::new(8, 1)),
         ] {
             let mut h = queue.handle(0);

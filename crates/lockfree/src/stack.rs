@@ -1,22 +1,26 @@
 //! Treiber stacks with pluggable ABA protection (experiment E6).
 //!
-//! All four variants share the same [`NodeArena`] and the same push/pop
-//! structure; they differ only in how the head pointer is manipulated —
-//! which is precisely the design decision the paper is about:
+//! There is exactly **one** push/pop implementation here —
+//! [`GenericStack`]`<R>` — written against the [`Reclaimer`] strategy trait
+//! from `aba-reclaim`; the five scheme instantiations differ only in the
+//! type parameter, which is precisely the design decision the paper is
+//! about:
 //!
-//! | Variant | Head representation | ABA handling | Expected outcome |
-//! |---------|--------------------|--------------|------------------|
-//! | [`UnprotectedStack`] | bare index, nodes recycled immediately | none | ABA events, lost/duplicated values |
-//! | [`TaggedStack`] | (index, tag) packed in one CAS word | unbounded tag (§1 tagging) | correct |
-//! | [`HazardStack`] | bare index + hazard pointers | reclamation deferral [20,21] | correct |
-//! | [`LlScStack`] | head is an LL/SC/VL object ([`AnnounceLlSc`]) | LL/SC semantics (Theorem 2 context) | correct |
+//! | Alias | Reclaimer | ABA handling | Expected outcome |
+//! |-------|-----------|--------------|------------------|
+//! | [`UnprotectedStack`] | [`NoReclaim`] | none | ABA events, lost/duplicated values |
+//! | [`TaggedStack`] | [`TagReclaim`] | unbounded tag (§1 tagging) | correct |
+//! | [`HazardStack`] | [`HazardReclaim`] | reclamation deferral [20, 21] | correct |
+//! | [`EpochStack`] | [`EpochReclaim`] | epoch / quiescence reclamation | correct |
+//! | [`LlScStack`] | [`LlScReclaim`] | LL/SC semantics (Theorem 2 context) | correct |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use aba_core::AnnounceLlSc;
-use aba_hazard::HazardDomain;
+use aba_reclaim::{
+    EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
+};
 
-use crate::arena::{pack, unpack, NodeArena, IDX_NIL, NIL};
+use crate::arena::{NodeArena, NIL};
 use crate::preemption_window;
 
 /// A bounded, concurrent LIFO with per-thread handles.
@@ -28,6 +32,9 @@ pub trait Stack: Send + Sync {
     /// Number of ABA events detected so far (always 0 for the protected
     /// variants).
     fn aba_events(&self) -> u64;
+    /// Nodes retired but not yet returned to the arena — the protection
+    /// scheme's space overhead (0 for immediate-free schemes).
+    fn unreclaimed(&self) -> u64;
     /// Obtain the per-thread handle for `tid`.
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_>;
 }
@@ -40,274 +47,90 @@ pub trait StackHandle: Send {
     fn pop(&mut self) -> Option<u32>;
 }
 
-// ---------------------------------------------------------------------------
-// Unprotected: the ABA-prone strawman.
-// ---------------------------------------------------------------------------
-
-/// Treiber stack with a bare-index head and immediate node recycling — the
-/// textbook ABA victim.
+/// Treiber stack over a [`NodeArena`], generic in its ABA-protection /
+/// reclamation scheme `R`.  The head word lives inside the reclaimer (which
+/// owns its encoding); push and pop are the textbook loops, with every
+/// shared access routed through the per-thread [`Guard`].
 #[derive(Debug)]
-pub struct UnprotectedStack {
+pub struct GenericStack<R: Reclaimer> {
     arena: NodeArena,
-    head: AtomicU64,
+    reclaim: R,
+    head: SlotId,
     aba_events: AtomicU64,
 }
 
-impl UnprotectedStack {
-    /// A stack backed by `capacity` nodes.
-    pub fn new(capacity: usize) -> Self {
-        UnprotectedStack {
+impl<R: Reclaimer> GenericStack<R> {
+    /// A stack backed by `capacity` nodes, used by at most `threads`
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or too large for the scheme's index field.
+    pub fn with_threads(capacity: usize, threads: usize) -> Self {
+        assert!(capacity < u32::MAX as usize, "capacity too large");
+        let mut reclaim = R::new(threads, 1);
+        let head = reclaim.add_slot(NIL);
+        GenericStack {
             arena: NodeArena::new(capacity),
-            head: AtomicU64::new(NIL),
+            reclaim,
+            head,
             aba_events: AtomicU64::new(0),
         }
     }
+
+    /// The reclamation scheme's short name ("unprotected", "epoch", …).
+    pub fn scheme(&self) -> &'static str {
+        self.reclaim.scheme()
+    }
 }
 
-impl Stack for UnprotectedStack {
+impl<R: Reclaimer> Stack for GenericStack<R> {
     fn capacity(&self) -> usize {
         self.arena.capacity()
     }
 
     fn name(&self) -> &'static str {
-        "Treiber (unprotected)"
+        self.reclaim.stack_label()
     }
 
     fn aba_events(&self) -> u64 {
         self.aba_events.load(Ordering::SeqCst)
     }
 
-    fn handle(&self, _tid: usize) -> Box<dyn StackHandle + '_> {
-        Box::new(UnprotectedHandle { stack: self })
-    }
-}
-
-#[derive(Debug)]
-struct UnprotectedHandle<'a> {
-    stack: &'a UnprotectedStack,
-}
-
-impl StackHandle for UnprotectedHandle<'_> {
-    fn push(&mut self, value: u32) -> bool {
-        let arena = &self.stack.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        loop {
-            let head = self.stack.head.load(Ordering::SeqCst);
-            arena.set_next(idx, head);
-            if self
-                .stack
-                .head
-                .compare_exchange(head, idx, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                return true;
-            }
-        }
-    }
-
-    fn pop(&mut self) -> Option<u32> {
-        let arena = &self.stack.arena;
-        loop {
-            let head = self.stack.head.load(Ordering::SeqCst);
-            if head == NIL {
-                return None;
-            }
-            // Remember the node's identity (generation) at read time …
-            let generation = arena.generation(head);
-            let next = arena.next(head);
-            preemption_window();
-            if self
-                .stack
-                .head
-                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                // … and detect, post hoc, that the CAS succeeded on a node
-                // that was recycled in between: a classic ABA.  The `next` we
-                // installed may be stale, so the structure may already be
-                // corrupted at this point — that is the experiment.
-                if arena.generation(head) != generation {
-                    self.stack.aba_events.fetch_add(1, Ordering::SeqCst);
-                }
-                let value = arena.value(head);
-                arena.free(head);
-                return Some(value);
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tagged: the §1 tagging technique (unbounded tag next to the index).
-// ---------------------------------------------------------------------------
-
-/// Treiber stack whose head packs `(index, tag)` into one CAS word; the tag
-/// is incremented by every successful head CAS.
-#[derive(Debug)]
-pub struct TaggedStack {
-    arena: NodeArena,
-    /// Low 32 bits: index (`0xFFFF_FFFF` = nil); high 32 bits: tag.
-    head: AtomicU64,
-}
-
-impl TaggedStack {
-    /// A stack backed by `capacity` nodes.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity < IDX_NIL as usize, "capacity too large");
-        TaggedStack {
-            arena: NodeArena::new(capacity),
-            head: AtomicU64::new(pack(IDX_NIL, 0)),
-        }
-    }
-}
-
-impl Stack for TaggedStack {
-    fn capacity(&self) -> usize {
-        self.arena.capacity()
-    }
-
-    fn name(&self) -> &'static str {
-        "Treiber (tagged head)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
-    }
-
-    fn handle(&self, _tid: usize) -> Box<dyn StackHandle + '_> {
-        Box::new(TaggedHandle { stack: self })
-    }
-}
-
-#[derive(Debug)]
-struct TaggedHandle<'a> {
-    stack: &'a TaggedStack,
-}
-
-impl StackHandle for TaggedHandle<'_> {
-    fn push(&mut self, value: u32) -> bool {
-        let arena = &self.stack.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        loop {
-            let raw = self.stack.head.load(Ordering::SeqCst);
-            let (head_idx, tag) = unpack(raw);
-            arena.set_next(
-                idx,
-                if head_idx == IDX_NIL {
-                    NIL
-                } else {
-                    head_idx as u64
-                },
-            );
-            let new = pack(idx as u32, tag.wrapping_add(1));
-            if self
-                .stack
-                .head
-                .compare_exchange(raw, new, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                return true;
-            }
-        }
-    }
-
-    fn pop(&mut self) -> Option<u32> {
-        let arena = &self.stack.arena;
-        loop {
-            let raw = self.stack.head.load(Ordering::SeqCst);
-            let (head_idx, tag) = unpack(raw);
-            if head_idx == IDX_NIL {
-                return None;
-            }
-            let next = arena.next(head_idx as u64);
-            let next_idx = if next == NIL { IDX_NIL } else { next as u32 };
-            preemption_window();
-            let new = pack(next_idx, tag.wrapping_add(1));
-            if self
-                .stack
-                .head
-                .compare_exchange(raw, new, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                let value = arena.value(head_idx as u64);
-                arena.free(head_idx as u64);
-                return Some(value);
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Hazard pointers: reclamation-based prevention.
-// ---------------------------------------------------------------------------
-
-/// Treiber stack with a bare-index head protected by hazard pointers: a
-/// popped node is retired and only recycled when no thread protects it.
-#[derive(Debug)]
-pub struct HazardStack {
-    arena: NodeArena,
-    head: AtomicU64,
-    domain: HazardDomain,
-}
-
-impl HazardStack {
-    /// A stack backed by `capacity` nodes, used by at most `threads` threads.
-    pub fn new(capacity: usize, threads: usize) -> Self {
-        HazardStack {
-            arena: NodeArena::new(capacity),
-            head: AtomicU64::new(NIL),
-            domain: HazardDomain::new(threads),
-        }
-    }
-}
-
-impl Stack for HazardStack {
-    fn capacity(&self) -> usize {
-        self.arena.capacity()
-    }
-
-    fn name(&self) -> &'static str {
-        "Treiber (hazard pointers)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
+    fn unreclaimed(&self) -> u64 {
+        self.reclaim.unreclaimed()
     }
 
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
-        Box::new(HazardStackHandle {
+        Box::new(GenericStackHandle {
             stack: self,
-            hazard: self.domain.handle(tid),
+            guard: self.reclaim.guard(tid, self.arena.capacity()),
         })
     }
 }
 
-struct HazardStackHandle<'a> {
-    stack: &'a HazardStack,
-    hazard: aba_hazard::HazardHandle<'a>,
+struct GenericStackHandle<'a, R: Reclaimer> {
+    stack: &'a GenericStack<R>,
+    guard: R::Guard<'a>,
 }
 
-impl std::fmt::Debug for HazardStackHandle<'_> {
+impl<R: Reclaimer> std::fmt::Debug for GenericStackHandle<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HazardStackHandle").finish_non_exhaustive()
+        f.debug_struct("GenericStackHandle").finish_non_exhaustive()
     }
 }
 
-impl StackHandle for HazardStackHandle<'_> {
+impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
     fn push(&mut self, value: u32) -> bool {
-        let arena = &self.stack.arena;
+        let stack = self.stack;
+        let arena = &stack.arena;
         let idx = match arena.alloc() {
             Some(idx) => idx,
             None => {
-                // The arena may be exhausted only because this handle still
-                // holds retired-but-unprotected nodes; reclaim and retry once.
-                self.hazard.flush(|i| arena.free(i));
+                // The arena may be exhausted only because the scheme still
+                // holds retired-but-reclaimable nodes; reclaim and retry
+                // once (a no-op for the immediate-free schemes).
+                self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
                     None => return false,
@@ -316,158 +139,115 @@ impl StackHandle for HazardStackHandle<'_> {
         };
         arena.set_value(idx, value);
         loop {
-            let head = self.stack.head.load(Ordering::SeqCst);
-            arena.set_next(idx, head);
-            if self
-                .stack
-                .head
-                .compare_exchange(head, idx, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
+            // A plain load suffices: push never dereferences the head node,
+            // it only links to it.
+            let head_raw = self.guard.load(stack.head);
+            self.guard
+                .store_link(arena.next_word(idx), self.guard.index_of(head_raw));
+            if self.guard.cas(stack.head, head_raw, idx) {
+                self.guard.quiesce();
                 return true;
             }
         }
     }
 
     fn pop(&mut self) -> Option<u32> {
-        let arena = &self.stack.arena;
+        let stack = self.stack;
+        let arena = &stack.arena;
         loop {
-            let head = self.stack.head.load(Ordering::SeqCst);
+            let head_raw = self.guard.protect(0, stack.head);
+            let head = self.guard.index_of(head_raw);
             if head == NIL {
-                self.hazard.clear();
+                self.guard.quiesce();
                 return None;
             }
-            // Protect, then re-validate that the head did not move before we
-            // published the hazard (the standard protocol).
-            self.hazard.protect(head);
-            if self.stack.head.load(Ordering::SeqCst) != head {
-                continue;
-            }
-            let next = arena.next(head);
+            // Remember the node's identity (generation) at read time; for
+            // the unprotected scheme the post-CAS comparison detects, post
+            // hoc, a CAS that succeeded on a recycled node — a classic ABA.
+            // Protected schemes never trip it.
+            let generation = arena.generation(head);
+            let next_raw = self.guard.load_link(arena.next_word(head));
+            let next = self.guard.index_of(next_raw);
             preemption_window();
-            if self
-                .stack
-                .head
-                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                let value = arena.value(head);
-                self.hazard.clear();
-                // Retire instead of freeing: the node returns to the arena
-                // only when nobody protects it.  Small arenas need eager
-                // reclamation, so flush whenever the retired list holds a
-                // meaningful share of the arena.
-                self.hazard.retire(head, |idx| arena.free(idx));
-                if self.hazard.retired_len() * 4 >= arena.capacity() {
-                    self.hazard.flush(|idx| arena.free(idx));
+            if self.guard.cas(stack.head, head_raw, next) {
+                if arena.generation(head) != generation {
+                    stack.aba_events.fetch_add(1, Ordering::SeqCst);
                 }
+                // Read the value *before* retiring: an immediate-free scheme
+                // may recycle the node the instant it is handed back.
+                let value = arena.value(head);
+                self.guard.retire(head, |i| arena.free(i));
                 return Some(value);
             }
-            self.hazard.clear();
         }
     }
 }
 
-impl Drop for HazardStackHandle<'_> {
+impl<R: Reclaimer> Drop for GenericStackHandle<'_, R> {
     fn drop(&mut self) {
         let arena = &self.stack.arena;
-        self.hazard.clear();
-        self.hazard.flush(|idx| arena.free(idx));
+        self.guard.quiesce();
+        self.guard.reclaim_pressure(|i| arena.free(i));
+        // Whatever a deferred scheme still cannot free is orphaned onto its
+        // domain by the guard's own drop and adopted by a later reclaim.
     }
 }
 
-// ---------------------------------------------------------------------------
-// LL/SC head: the paper's primitive as the fix.
-// ---------------------------------------------------------------------------
+/// Treiber stack with a bare-index head and immediate node recycling — the
+/// textbook ABA victim.
+pub type UnprotectedStack = GenericStack<NoReclaim>;
 
-/// Treiber stack whose head is an LL/SC/VL object ([`AnnounceLlSc`]): the SC
-/// fails whenever any successful SC intervened, so a recycled index can never
-/// be confused with its previous incarnation.
-#[derive(Debug)]
-pub struct LlScStack {
-    arena: NodeArena,
-    head: AnnounceLlSc,
+/// Treiber stack whose head packs `(index, tag)` into one CAS word; the tag
+/// is incremented by every successful head CAS (§1 tagging).
+pub type TaggedStack = GenericStack<TagReclaim>;
+
+/// Treiber stack with a bare-index head protected by hazard pointers: a
+/// popped node is retired and only recycled when no thread protects it.
+pub type HazardStack = GenericStack<HazardReclaim>;
+
+/// Treiber stack under epoch-based reclamation: pop pins the current epoch,
+/// and a popped node returns to the arena only after two epoch advances.
+pub type EpochStack = GenericStack<EpochReclaim>;
+
+/// Treiber stack whose head is an LL/SC/VL object: the SC fails whenever any
+/// successful SC intervened, so a recycled index can never be confused with
+/// its previous incarnation.
+pub type LlScStack = GenericStack<LlScReclaim>;
+
+impl GenericStack<NoReclaim> {
+    /// A stack backed by `capacity` nodes (thread count is irrelevant to the
+    /// unprotected scheme).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
 }
 
-/// `u32::MAX` marks the empty stack in the LL/SC head.
-const LLSC_NIL: u32 = u32::MAX;
+impl GenericStack<TagReclaim> {
+    /// A stack backed by `capacity` nodes (thread count is irrelevant to the
+    /// tagging scheme).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
+}
 
-impl LlScStack {
+impl GenericStack<HazardReclaim> {
     /// A stack backed by `capacity` nodes, used by at most `threads` threads.
     pub fn new(capacity: usize, threads: usize) -> Self {
-        assert!(capacity < LLSC_NIL as usize, "capacity too large");
-        LlScStack {
-            arena: NodeArena::new(capacity),
-            head: AnnounceLlSc::with_initial(threads, LLSC_NIL),
-        }
+        Self::with_threads(capacity, threads)
     }
 }
 
-impl Stack for LlScStack {
-    fn capacity(&self) -> usize {
-        self.arena.capacity()
-    }
-
-    fn name(&self) -> &'static str {
-        "Treiber (LL/SC head)"
-    }
-
-    fn aba_events(&self) -> u64 {
-        0
-    }
-
-    fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
-        Box::new(LlScStackHandle {
-            stack: self,
-            head: self.stack_head_handle(tid),
-        })
+impl GenericStack<EpochReclaim> {
+    /// A stack backed by `capacity` nodes, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
     }
 }
 
-impl LlScStack {
-    fn stack_head_handle(&self, tid: usize) -> aba_core::AnnounceLlScHandle<'_> {
-        self.head.handle(tid)
-    }
-}
-
-#[derive(Debug)]
-struct LlScStackHandle<'a> {
-    stack: &'a LlScStack,
-    head: aba_core::AnnounceLlScHandle<'a>,
-}
-
-impl StackHandle for LlScStackHandle<'_> {
-    fn push(&mut self, value: u32) -> bool {
-        let arena = &self.stack.arena;
-        let Some(idx) = arena.alloc() else {
-            return false;
-        };
-        arena.set_value(idx, value);
-        loop {
-            let head = self.head.ll();
-            arena.set_next(idx, if head == LLSC_NIL { NIL } else { head as u64 });
-            if self.head.sc(idx as u32) {
-                return true;
-            }
-        }
-    }
-
-    fn pop(&mut self) -> Option<u32> {
-        let arena = &self.stack.arena;
-        loop {
-            let head = self.head.ll();
-            if head == LLSC_NIL {
-                return None;
-            }
-            let next = arena.next(head as u64);
-            let next_word = if next == NIL { LLSC_NIL } else { next as u32 };
-            preemption_window();
-            if self.head.sc(next_word) {
-                let value = arena.value(head as u64);
-                arena.free(head as u64);
-                return Some(value);
-            }
-        }
+impl GenericStack<LlScReclaim> {
+    /// A stack backed by `capacity` nodes, used by at most `threads` threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
     }
 }
 
@@ -491,6 +271,7 @@ mod tests {
         lifo_smoke(&UnprotectedStack::new(8));
         lifo_smoke(&TaggedStack::new(8));
         lifo_smoke(&HazardStack::new(8, 2));
+        lifo_smoke(&EpochStack::new(8, 2));
         lifo_smoke(&LlScStack::new(8, 2));
     }
 
@@ -510,11 +291,12 @@ mod tests {
         for stack in [
             Box::new(TaggedStack::new(4)) as Box<dyn Stack>,
             Box::new(HazardStack::new(4, 1)),
+            Box::new(EpochStack::new(4, 1)),
             Box::new(LlScStack::new(4, 1)),
         ] {
             let mut h = stack.handle(0);
             for round in 0..100u32 {
-                assert!(h.push(round));
+                assert!(h.push(round), "{} round {round}", stack.name());
                 assert!(h.push(round + 1000));
                 assert_eq!(h.pop(), Some(round + 1000));
                 assert_eq!(h.pop(), Some(round));
@@ -529,12 +311,13 @@ mod tests {
             UnprotectedStack::new(1).name(),
             TaggedStack::new(1).name(),
             HazardStack::new(1, 1).name(),
+            EpochStack::new(1, 1).name(),
             LlScStack::new(1, 1).name(),
         ];
         let mut unique = names.to_vec();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 4);
+        assert_eq!(unique.len(), 5);
     }
 
     #[test]
@@ -555,5 +338,51 @@ mod tests {
         for i in 0..4 {
             assert!(h.push(i), "node {i} was not reclaimed");
         }
+    }
+
+    #[test]
+    fn epoch_stack_returns_nodes_to_arena_on_handle_drop() {
+        let stack = EpochStack::new(4, 2);
+        {
+            let mut h = stack.handle(0);
+            for i in 0..4 {
+                assert!(h.push(i));
+            }
+            for _ in 0..4 {
+                assert!(h.pop().is_some());
+            }
+        }
+        let mut h = stack.handle(1);
+        for i in 0..4 {
+            assert!(h.push(i), "node {i} was not reclaimed");
+        }
+    }
+
+    #[test]
+    fn unreclaimed_is_zero_for_immediate_free_schemes() {
+        for stack in [
+            Box::new(UnprotectedStack::new(4)) as Box<dyn Stack>,
+            Box::new(TaggedStack::new(4)),
+            Box::new(LlScStack::new(4, 1)),
+        ] {
+            let mut h = stack.handle(0);
+            assert!(h.push(1));
+            assert_eq!(h.pop(), Some(1));
+            drop(h);
+            assert_eq!(stack.unreclaimed(), 0, "{}", stack.name());
+        }
+    }
+
+    #[test]
+    fn deferred_schemes_report_their_limbo_footprint() {
+        // A popped node under epoch reclamation sits in limbo until two
+        // advances; the gauge must see it.
+        let stack = EpochStack::new(64, 1);
+        let mut h = stack.handle(0);
+        assert!(h.push(1));
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(stack.unreclaimed(), 1);
+        drop(h); // drop-time pressure reclaims it
+        assert_eq!(stack.unreclaimed(), 0);
     }
 }

@@ -8,14 +8,117 @@
 //! still inside must be exactly the values that went in — any *lost* or
 //! *duplicated* value is structural corruption caused by an ABA on the
 //! head/tail words.
+//!
+//! Both harnesses are thin role definitions over one shared
+//! [conservation driver](run_conservation): barrier-started workers, private
+//! per-thread value logs merged after join, a bounded post-run drain (a
+//! corrupted structure can contain a cycle) and multiset accounting.  Every
+//! structure variant — including any scheme added to `aba-reclaim` later —
+//! gets its conservation check from the same scaffolding.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Barrier;
 
 use crate::queue::Queue;
 use crate::stack::Stack;
 
-/// Result of one stress run.
+/// Merged outcome of one conservation run, before harness-specific labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Conservation {
+    /// Values successfully inserted across all workers.
+    inserted: u64,
+    /// Values extracted by the workers themselves.
+    taken: u64,
+    /// Values recovered by the post-run drain.
+    remaining: u64,
+    /// Values that were inserted but never seen again.
+    lost: u64,
+    /// Values that were seen more often than they were inserted.
+    duplicated: u64,
+}
+
+/// Run `threads` barrier-started workers, merge their private insert/extract
+/// logs, drain the structure (bounded by `drain_limit`, because a corrupted
+/// structure can contain a cycle) and account every value: inserted versus
+/// observed, as multisets.
+///
+/// `worker(tid)` performs one thread's whole script and returns
+/// `(inserted values, extracted values)`; `drain()` pops/dequeues one
+/// leftover value.
+fn run_conservation(
+    threads: usize,
+    worker: impl Fn(usize) -> (Vec<u32>, Vec<u32>) + Sync,
+    mut drain: impl FnMut() -> Option<u32>,
+    drain_limit: usize,
+) -> Conservation {
+    assert!(threads > 0, "need at least one thread");
+    let barrier = Barrier::new(threads);
+    let per_thread: Vec<(Vec<u32>, Vec<u32>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = &barrier;
+                let worker = &worker;
+                s.spawn(move || {
+                    barrier.wait();
+                    worker(tid)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stress worker panicked"))
+            .collect()
+    });
+
+    let mut inserted_values: Vec<u32> = Vec::new();
+    let mut observed: HashMap<u32, i64> = HashMap::new();
+    let mut taken = 0u64;
+    for (inserted, extracted) in per_thread {
+        inserted_values.extend(inserted);
+        taken += extracted.len() as u64;
+        for v in extracted {
+            *observed.entry(v).or_insert(0) += 1;
+        }
+    }
+
+    let mut remaining = 0u64;
+    while let Some(v) = drain() {
+        *observed.entry(v).or_insert(0) += 1;
+        remaining += 1;
+        if remaining as usize > drain_limit {
+            break;
+        }
+    }
+
+    let mut expected: HashMap<u32, i64> = HashMap::new();
+    for v in &inserted_values {
+        *expected.entry(*v).or_insert(0) += 1;
+    }
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    for (value, want) in &expected {
+        let got = observed.get(value).copied().unwrap_or(0);
+        if got < *want {
+            lost += (*want - got) as u64;
+        }
+    }
+    for (value, got) in &observed {
+        let want = expected.get(value).copied().unwrap_or(0);
+        if *got > want {
+            duplicated += (*got - want) as u64;
+        }
+    }
+
+    Conservation {
+        inserted: inserted_values.len() as u64,
+        taken,
+        remaining,
+        lost,
+        duplicated,
+    }
+}
+
+/// Result of one stack stress run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StressReport {
     /// Stack variant name.
@@ -49,98 +152,48 @@ impl StressReport {
 /// Run `threads` threads, each performing `ops_per_thread` push/pop rounds of
 /// unique values, then drain the stack and check conservation.
 pub fn stress_stack(stack: &dyn Stack, threads: usize, ops_per_thread: usize) -> StressReport {
-    assert!(threads > 0, "need at least one thread");
-    let observed: Mutex<HashMap<u32, i64>> = Mutex::new(HashMap::new());
-    let pushed: Mutex<Vec<u32>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|s| {
-        for tid in 0..threads {
-            let observed = &observed;
-            let pushed = &pushed;
-            s.spawn(move || {
-                let mut handle = stack.handle(tid);
-                let mut my_pushed = Vec::new();
-                let mut my_popped = Vec::new();
-                for i in 0..ops_per_thread {
-                    let value = (tid * ops_per_thread + i) as u32 + 1;
-                    if handle.push(value) {
-                        my_pushed.push(value);
-                    }
-                    // Pop with 50% duty cycle to keep the stack short and the
-                    // free list hot (recycling pressure).
-                    if i % 2 == 0 {
-                        if let Some(v) = handle.pop() {
-                            my_popped.push(v);
-                        }
+    let outcome = run_conservation(
+        threads,
+        |tid| {
+            let mut handle = stack.handle(tid);
+            let mut pushed = Vec::new();
+            let mut popped = Vec::new();
+            for i in 0..ops_per_thread {
+                let value = (tid * ops_per_thread + i) as u32 + 1;
+                if handle.push(value) {
+                    pushed.push(value);
+                } else {
+                    // Arena exhausted: hand the core to whoever can drain
+                    // (essential on single-core hosts, where a spinning
+                    // worker otherwise monopolises the timeslice).
+                    std::thread::yield_now();
+                }
+                // Pop with 50% duty cycle to keep the stack short and the
+                // free list hot (recycling pressure).
+                if i % 2 == 0 {
+                    if let Some(v) = handle.pop() {
+                        popped.push(v);
                     }
                 }
-                pushed.lock().unwrap().extend(my_pushed);
-                let mut obs = observed.lock().unwrap();
-                for v in my_popped {
-                    *obs.entry(v).or_insert(0) += 1;
-                }
-            });
-        }
-    });
-
-    let mut popped_total = 0u64;
-    {
-        let obs = observed.lock().unwrap();
-        for count in obs.values() {
-            popped_total += *count as u64;
-        }
-    }
-
-    // Drain what is left.
-    let mut remaining = 0u64;
-    {
-        let mut handle = stack.handle(0);
-        let mut obs = observed.lock().unwrap();
-        let mut drained = 0usize;
-        // A corrupted stack can contain a cycle; bound the drain.
-        let limit = stack.capacity() * 4 + 16;
-        while let Some(v) = handle.pop() {
-            *obs.entry(v).or_insert(0) += 1;
-            remaining += 1;
-            drained += 1;
-            if drained > limit {
-                break;
             }
-        }
-    }
-
-    let pushed_values = pushed.into_inner().unwrap();
-    let mut expected: HashMap<u32, i64> = HashMap::new();
-    for v in &pushed_values {
-        *expected.entry(*v).or_insert(0) += 1;
-    }
-    let observed = observed.into_inner().unwrap();
-
-    let mut lost = 0u64;
-    let mut duplicated = 0u64;
-    for (value, want) in &expected {
-        let got = observed.get(value).copied().unwrap_or(0);
-        if got < *want {
-            lost += (*want - got) as u64;
-        }
-    }
-    for (value, got) in &observed {
-        let want = expected.get(value).copied().unwrap_or(0);
-        if *got > want {
-            duplicated += (*got - want) as u64;
-        }
-    }
-
+            (pushed, popped)
+        },
+        {
+            let mut handle = stack.handle(0);
+            move || handle.pop()
+        },
+        stack.capacity() * 4 + 16,
+    );
     StressReport {
         stack: stack.name().to_string(),
         threads,
         ops_per_thread,
-        pushed: pushed_values.len() as u64,
-        popped: popped_total,
-        remaining,
+        pushed: outcome.inserted,
+        popped: outcome.taken,
+        remaining: outcome.remaining,
         aba_events: stack.aba_events(),
-        lost,
-        duplicated,
+        lost: outcome.lost,
+        duplicated: outcome.duplicated,
     }
 }
 
@@ -197,112 +250,66 @@ pub fn stress_queue(
 ) -> QueueStressReport {
     assert!(producers > 0, "need at least one producer");
     assert!(consumers > 0, "need at least one consumer");
-    let observed: Mutex<HashMap<u32, i64>> = Mutex::new(HashMap::new());
-    let enqueued: Mutex<Vec<u32>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|s| {
-        for tid in 0..producers {
-            let enqueued = &enqueued;
-            s.spawn(move || {
-                let mut handle = queue.handle(tid);
-                let mut mine = Vec::new();
+    let outcome = run_conservation(
+        producers + consumers,
+        |tid| {
+            let mut handle = queue.handle(tid);
+            if tid < producers {
+                let mut enqueued = Vec::new();
                 for i in 0..ops_per_thread {
                     let value = (tid * ops_per_thread + i) as u32 + 1;
                     if handle.enqueue(value) {
-                        mine.push(value);
+                        enqueued.push(value);
+                    } else {
+                        // Arena exhausted: hand the core to a consumer
+                        // (essential on single-core hosts, where a spinning
+                        // producer otherwise monopolises the timeslice).
+                        std::thread::yield_now();
                     }
                 }
-                enqueued.lock().unwrap().extend(mine);
-            });
-        }
-        for tid in producers..producers + consumers {
-            let observed = &observed;
-            s.spawn(move || {
-                let mut handle = queue.handle(tid);
-                let mut mine = Vec::new();
+                (enqueued, Vec::new())
+            } else {
+                let mut dequeued = Vec::new();
                 // Consumers chase the producers: a bounded number of attempts
                 // per expected value so the run terminates even when the
                 // queue stays empty (or corrupts).
                 let budget = 4 * producers * ops_per_thread / consumers + 64;
                 for _ in 0..budget {
                     if let Some(v) = handle.dequeue() {
-                        mine.push(v);
+                        dequeued.push(v);
+                    } else {
+                        // Empty: hand the core to a producer rather than
+                        // burning the whole attempt budget in one timeslice.
+                        std::thread::yield_now();
                     }
                 }
-                let mut obs = observed.lock().unwrap();
-                for v in mine {
-                    *obs.entry(v).or_insert(0) += 1;
-                }
-            });
-        }
-    });
-
-    let mut dequeued_total = 0u64;
-    {
-        let obs = observed.lock().unwrap();
-        for count in obs.values() {
-            dequeued_total += *count as u64;
-        }
-    }
-
-    // Drain what is left.
-    let mut remaining = 0u64;
-    {
-        let mut handle = queue.handle(0);
-        let mut obs = observed.lock().unwrap();
-        let mut drained = 0usize;
-        // A corrupted queue can contain a cycle; bound the drain.
-        let limit = queue.capacity() * 4 + 16;
-        while let Some(v) = handle.dequeue() {
-            *obs.entry(v).or_insert(0) += 1;
-            remaining += 1;
-            drained += 1;
-            if drained > limit {
-                break;
+                (Vec::new(), dequeued)
             }
-        }
-    }
-
-    let enqueued_values = enqueued.into_inner().unwrap();
-    let mut expected: HashMap<u32, i64> = HashMap::new();
-    for v in &enqueued_values {
-        *expected.entry(*v).or_insert(0) += 1;
-    }
-    let observed = observed.into_inner().unwrap();
-
-    let mut lost = 0u64;
-    let mut duplicated = 0u64;
-    for (value, want) in &expected {
-        let got = observed.get(value).copied().unwrap_or(0);
-        if got < *want {
-            lost += (*want - got) as u64;
-        }
-    }
-    for (value, got) in &observed {
-        let want = expected.get(value).copied().unwrap_or(0);
-        if *got > want {
-            duplicated += (*got - want) as u64;
-        }
-    }
-
+        },
+        {
+            let mut handle = queue.handle(0);
+            move || handle.dequeue()
+        },
+        queue.capacity() * 4 + 16,
+    );
     QueueStressReport {
         queue: queue.name().to_string(),
         producers,
         consumers,
         ops_per_thread,
-        enqueued: enqueued_values.len() as u64,
-        dequeued: dequeued_total,
-        remaining,
+        enqueued: outcome.inserted,
+        dequeued: outcome.taken,
+        remaining: outcome.remaining,
         aba_events: queue.aba_events(),
-        lost,
-        duplicated,
+        lost: outcome.lost,
+        duplicated: outcome.duplicated,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stack::{HazardStack, LlScStack, TaggedStack, UnprotectedStack};
+    use crate::stack::{EpochStack, HazardStack, LlScStack, TaggedStack, UnprotectedStack};
 
     const THREADS: usize = 4;
     const OPS: usize = 3_000;
@@ -321,6 +328,14 @@ mod tests {
         let stack = HazardStack::new(CAPACITY + THREADS * 2, THREADS);
         let report = stress_stack(&stack, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn epoch_stack_conserves_values() {
+        let stack = EpochStack::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_stack(&stack, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
     }
 
     #[test]
@@ -364,7 +379,7 @@ mod tests {
     // Queue conservation (experiment E8)
     // ------------------------------------------------------------------
 
-    use crate::queue::{HazardQueue, LlScQueue, TaggedQueue, UnprotectedQueue};
+    use crate::queue::{EpochQueue, HazardQueue, LlScQueue, TaggedQueue, UnprotectedQueue};
 
     const PRODUCERS: usize = 2;
     const CONSUMERS: usize = 2;
@@ -383,6 +398,14 @@ mod tests {
         let queue = HazardQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
         assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn epoch_queue_conserves_values() {
+        let queue = EpochQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
     }
 
     #[test]
@@ -424,5 +447,20 @@ mod tests {
         let report = stress_queue(&queue, 1, 1, 2_000);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn deferred_schemes_leave_no_limbo_after_the_drain_handle_drops() {
+        // The shared driver's drain handle applies allocation pressure on
+        // drop; with all workers quiesced, every retired node must be home.
+        let stack = EpochStack::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_stack(&stack, THREADS, 500);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(stack.unreclaimed(), 0);
+
+        let queue = HazardQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let report = stress_queue(&queue, PRODUCERS, CONSUMERS, 500);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(queue.unreclaimed(), 0);
     }
 }

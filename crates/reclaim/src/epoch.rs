@@ -1,0 +1,420 @@
+//! Epoch-based (quiescence) reclamation — the canonical alternative to
+//! hazard pointers (Fraser-style epochs, cf. crossbeam-epoch).
+//!
+//! A global epoch counter advances only when every *pinned* thread has
+//! observed the current value.  A thread pins itself (publishes the global
+//! epoch in its local-epoch slot) before traversing the structure and unpins
+//! when its operation completes; a retired node is stamped with the epoch at
+//! retirement and handed back to the allocator once the global epoch has
+//! advanced **twice** past that stamp — by then every thread that could have
+//! held a reference from before the unlink has gone through a quiescent
+//! point.
+//!
+//! Per-guard state is three *limbo bags* (one per epoch residue class
+//! mod 3): `retire` appends to the current epoch's bag in O(1), `pin`/
+//! `unpin` are one or two shared stores, and the O(threads) epoch-advance
+//! scan runs only every [`ADVANCE_THRESHOLD`] retirements (or under
+//! allocation pressure) — the amortized-O(1) cost profile that makes epochs
+//! the cheap-reads point in the scheme-comparison tables, bought with the
+//! largest unreclaimed-node footprint (one stalled reader blocks *all*
+//! reclamation, where a hazard pointer pins exactly one node).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Guard, Reclaimer, SlotId};
+
+/// Maximum retirements between a guard's epoch-advance attempts (amortizes
+/// the O(threads) local-epoch scan; allocation pressure forces attempts
+/// regardless).  Small arenas tighten the trigger further: limbo lives in
+/// *every* guard's bags at once, so each guard may keep at most its
+/// per-thread share of the arena (a quarter of capacity split over all
+/// threads) before attempting an advance — otherwise `threads` guards
+/// collectively park the whole arena in limbo and every allocation starves.
+pub const ADVANCE_THRESHOLD: usize = 32;
+
+/// Epoch-based reclamation: a global epoch, per-thread local epochs and
+/// three per-guard limbo bags.  Structure words are bare indices (the
+/// protection is temporal, not representational).
+#[derive(Debug)]
+pub struct EpochReclaim {
+    /// The global epoch.
+    global: AtomicU64,
+    /// `locals[t]`: 0 when thread `t` is quiescent, `e + 1` when it is
+    /// pinned at epoch `e`.
+    locals: Box<[AtomicU64]>,
+    slots: Vec<AtomicU64>,
+    /// Retired-but-not-freed node count across all guards (the scheme's
+    /// space overhead).
+    unreclaimed: AtomicU64,
+    /// `(node, retire-epoch)` pairs stranded by dropped guards; adopted by
+    /// whichever guard reclaims next.
+    orphans: Mutex<Vec<(u64, u64)>>,
+    /// Orphan count mirrored outside the mutex, so the retire-path advance
+    /// (which runs on every retire for small arenas) stays lock-free in the
+    /// common no-dropped-guard case.
+    orphan_count: AtomicU64,
+}
+
+impl Reclaimer for EpochReclaim {
+    type Guard<'a> = EpochGuard<'a>;
+
+    fn new(threads: usize, _lanes: usize) -> Self {
+        EpochReclaim {
+            global: AtomicU64::new(0),
+            locals: (0..threads.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            slots: Vec::new(),
+            unreclaimed: AtomicU64::new(0),
+            orphans: Mutex::new(Vec::new()),
+            orphan_count: AtomicU64::new(0),
+        }
+    }
+
+    fn add_slot(&mut self, idx: u64) -> SlotId {
+        self.slots.push(AtomicU64::new(idx));
+        self.slots.len() - 1
+    }
+
+    fn guard(&self, tid: usize, capacity: usize) -> EpochGuard<'_> {
+        assert!(tid < self.locals.len(), "tid {tid} out of range");
+        EpochGuard {
+            shared: self,
+            tid,
+            advance_trigger: (capacity / (4 * self.locals.len())).clamp(1, ADVANCE_THRESHOLD),
+            pinned: false,
+            bags: [Vec::new(), Vec::new(), Vec::new()],
+            bag_epoch: [0; 3],
+            limbo: 0,
+            since_advance: 0,
+        }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "epoch"
+    }
+
+    fn stack_label(&self) -> &'static str {
+        "Treiber (epoch)"
+    }
+
+    fn queue_label(&self) -> &'static str {
+        "MS queue (epoch)"
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.unreclaimed.load(Ordering::SeqCst)
+    }
+}
+
+impl EpochReclaim {
+    /// The current global epoch (for tests and diagnostics).
+    pub fn global_epoch(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+}
+
+/// Guard of [`EpochReclaim`]: pin state plus three limbo bags.
+#[derive(Debug)]
+pub struct EpochGuard<'a> {
+    shared: &'a EpochReclaim,
+    tid: usize,
+    /// Limbo size (or retire count) at which this guard attempts an epoch
+    /// advance: its per-thread share of the arena, capped by
+    /// [`ADVANCE_THRESHOLD`].
+    advance_trigger: usize,
+    pinned: bool,
+    /// Bag `e % 3` holds nodes retired at epoch `bag_epoch[e % 3]`.
+    bags: [Vec<u64>; 3],
+    bag_epoch: [u64; 3],
+    /// Total nodes across the three bags.
+    limbo: usize,
+    since_advance: usize,
+}
+
+impl EpochGuard<'_> {
+    /// Pin: publish the current global epoch in our local slot, re-reading
+    /// the global until the published value is current.  The re-read closes
+    /// the race where an advance (and its reclamation) slips between our
+    /// read and our publish — a stale publication would otherwise fail to
+    /// protect the nodes we are about to traverse.
+    fn pin(&mut self) {
+        if self.pinned {
+            return;
+        }
+        loop {
+            let e = self.shared.global.load(Ordering::SeqCst);
+            self.shared.locals[self.tid].store(e + 1, Ordering::SeqCst);
+            if self.shared.global.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+        self.pinned = true;
+    }
+
+    fn unpin(&mut self) {
+        if self.pinned {
+            self.shared.locals[self.tid].store(0, Ordering::SeqCst);
+            self.pinned = false;
+        }
+    }
+
+    /// Free every bag (and adopted orphan) whose retire epoch lies two or
+    /// more advances in the past.
+    fn flush_eligible(&mut self, free: &mut impl FnMut(u64)) {
+        let g = self.shared.global.load(Ordering::SeqCst);
+        for s in 0..3 {
+            if !self.bags[s].is_empty() && self.bag_epoch[s] + 2 <= g {
+                self.limbo -= self.bags[s].len();
+                for idx in self.bags[s].drain(..) {
+                    self.shared.unreclaimed.fetch_sub(1, Ordering::SeqCst);
+                    free(idx);
+                }
+            }
+        }
+        if self.shared.orphan_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut orphans = self.shared.orphans.lock().expect("orphan lock poisoned");
+        let mut adopted = 0u64;
+        orphans.retain(|&(idx, e)| {
+            if e + 2 <= g {
+                adopted += 1;
+                self.shared.unreclaimed.fetch_sub(1, Ordering::SeqCst);
+                free(idx);
+                false
+            } else {
+                true
+            }
+        });
+        self.shared
+            .orphan_count
+            .fetch_sub(adopted, Ordering::SeqCst);
+    }
+
+    /// Attempt one epoch advance (succeeds only when every pinned thread has
+    /// observed the current epoch), then reclaim whatever became eligible.
+    fn try_advance(&mut self, free: &mut impl FnMut(u64)) {
+        self.since_advance = 0;
+        let g = self.shared.global.load(Ordering::SeqCst);
+        let all_current = self.shared.locals.iter().all(|l| {
+            let v = l.load(Ordering::SeqCst);
+            v == 0 || v == g + 1
+        });
+        if all_current {
+            // A failed CAS means someone else advanced for us — equally good.
+            let _ =
+                self.shared
+                    .global
+                    .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        self.flush_eligible(free);
+    }
+}
+
+impl Guard for EpochGuard<'_> {
+    fn protect(&mut self, _lane: usize, slot: SlotId) -> u64 {
+        // The pin is the protection: while our local epoch is published,
+        // nothing retired from now on can complete two advances, so every
+        // node reachable after the pin stays allocated until we quiesce.
+        self.pin();
+        self.shared.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn load(&mut self, slot: SlotId) -> u64 {
+        self.shared.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn validate(&mut self, slot: SlotId, raw: u64) -> bool {
+        self.shared.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn cas(&mut self, slot: SlotId, raw: u64, idx: u64) -> bool {
+        self.shared.slots[slot]
+            .compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn protect_link(&mut self, _lane: usize, _idx: u64, slot: SlotId, raw: u64) -> bool {
+        // The pin already protects every reachable node; only the snapshot
+        // freshness needs confirming.
+        self.shared.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn load_link(&self, link: &AtomicU64) -> u64 {
+        link.load(Ordering::SeqCst)
+    }
+
+    fn store_link(&self, link: &AtomicU64, idx: u64) {
+        link.store(idx, Ordering::SeqCst);
+    }
+
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool {
+        link.compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn index_of(&self, raw: u64) -> u64 {
+        raw
+    }
+
+    fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
+        debug_assert!(self.pinned, "retire outside a pinned operation");
+        let e = self.shared.global.load(Ordering::SeqCst);
+        let s = (e % 3) as usize;
+        if self.bag_epoch[s] != e && !self.bags[s].is_empty() {
+            // The bag's residents were retired a full cycle (3 epochs) ago —
+            // safely past the 2-advance bar — so the slot can be recycled.
+            self.limbo -= self.bags[s].len();
+            for old in self.bags[s].drain(..) {
+                self.shared.unreclaimed.fetch_sub(1, Ordering::SeqCst);
+                free(old);
+            }
+        }
+        self.bag_epoch[s] = e;
+        self.bags[s].push(idx);
+        self.limbo += 1;
+        self.shared.unreclaimed.fetch_add(1, Ordering::SeqCst);
+        self.since_advance += 1;
+        // The operation is complete: quiesce before (possibly) scanning for
+        // an advance, so our own pin never blocks it.
+        self.unpin();
+        if self.since_advance >= self.advance_trigger || self.limbo >= self.advance_trigger {
+            self.try_advance(&mut free);
+        }
+    }
+
+    fn quiesce(&mut self) {
+        self.unpin();
+    }
+
+    fn reclaim_pressure(&mut self, mut free: impl FnMut(u64)) {
+        debug_assert!(!self.pinned, "reclaim_pressure while pinned");
+        // Two advances make everything in limbo eligible; a third attempt
+        // covers an advance lost to a concurrent pinner in between.
+        for _ in 0..3 {
+            self.try_advance(&mut free);
+        }
+    }
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        self.unpin();
+        if self.limbo > 0 {
+            // Strand the un-freed retirees on the domain rather than leaking
+            // them: the next guard to reclaim adopts them (the hazard
+            // domain's orphan contract, transplanted).
+            let mut orphans = self.shared.orphans.lock().expect("orphan lock poisoned");
+            for s in 0..3 {
+                let e = self.bag_epoch[s];
+                orphans.extend(self.bags[s].drain(..).map(|idx| (idx, e)));
+            }
+            self.shared
+                .orphan_count
+                .fetch_add(self.limbo as u64, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NIL;
+
+    #[test]
+    fn nodes_are_freed_only_after_two_advances() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(7);
+        let mut g = r.guard(0, 1024); // large capacity: no pressure trigger
+        let raw = g.protect(0, head);
+        assert!(g.cas(head, raw, NIL));
+        let mut freed = Vec::new();
+        g.retire(7, |v| freed.push(v));
+        assert!(freed.is_empty());
+        assert_eq!(r.unreclaimed(), 1);
+        let e0 = r.global_epoch();
+        g.try_advance(&mut |v| freed.push(v));
+        assert_eq!(r.global_epoch(), e0 + 1);
+        assert!(freed.is_empty(), "one advance is not enough");
+        g.try_advance(&mut |v| freed.push(v));
+        assert_eq!(freed, vec![7], "two advances free the retiree");
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn a_pinned_thread_blocks_the_advance() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut pinned = r.guard(0, 1024);
+        let _ = pinned.protect(0, head); // pins thread 0
+        let mut g = r.guard(1, 1024);
+        let e0 = r.global_epoch();
+        let mut freed = Vec::new();
+        g.try_advance(&mut |v| freed.push(v));
+        g.try_advance(&mut |v| freed.push(v));
+        assert_eq!(
+            r.global_epoch(),
+            e0 + 1,
+            "the first advance (pinned thread is current) succeeds, the \
+             second is blocked by the now-stale pin"
+        );
+        pinned.quiesce();
+        g.try_advance(&mut |v| freed.push(v));
+        assert_eq!(r.global_epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn pressure_reclaims_everything_when_quiescent() {
+        let mut r = EpochReclaim::new(1, 1);
+        let head = r.add_slot(NIL);
+        let mut g = r.guard(0, 1024);
+        let mut freed = Vec::new();
+        for idx in 0..5u64 {
+            let raw = g.protect(0, head);
+            let _ = g.cas(head, raw, NIL);
+            g.retire(idx, |v| freed.push(v));
+        }
+        assert!(freed.is_empty());
+        g.reclaim_pressure(|v| freed.push(v));
+        freed.sort_unstable();
+        assert_eq!(freed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn dropped_guard_orphans_its_limbo_for_adoption() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(NIL);
+        {
+            let mut g = r.guard(0, 1024);
+            let raw = g.protect(0, head);
+            let _ = g.cas(head, raw, NIL);
+            g.retire(9, |_| {});
+        } // dropped with 9 still in limbo
+        assert_eq!(r.unreclaimed(), 1);
+        let mut adopter = r.guard(1, 1024);
+        let mut freed = Vec::new();
+        adopter.reclaim_pressure(|v| freed.push(v));
+        assert_eq!(freed, vec![9]);
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn small_arena_pressure_trigger_fires_inside_retire() {
+        // capacity 8 => the 2nd limbo node crosses limbo*4 >= capacity and
+        // retire itself attempts the advances.
+        let mut r = EpochReclaim::new(1, 1);
+        let head = r.add_slot(NIL);
+        let mut g = r.guard(0, 8);
+        let mut freed = Vec::new();
+        for idx in 0..6u64 {
+            let raw = g.protect(0, head);
+            let _ = g.cas(head, raw, NIL);
+            g.retire(idx, |v| freed.push(v));
+        }
+        assert!(
+            !freed.is_empty(),
+            "the in-retire advance trigger must reclaim under pressure"
+        );
+    }
+}

@@ -1,0 +1,884 @@
+//! # aba-reclaim
+//!
+//! Every ABA-prevention scheme the paper discusses is, operationally, a
+//! *node-reclamation policy*: it decides how a structure word (a stack head,
+//! a queue head/tail, a next link) is represented, how a thread may safely
+//! read through it, and when a node removed from the structure may be handed
+//! back to its allocator.  This crate factors that decision out of the
+//! lock-free structures in `aba-lockfree` behind one [`Reclaimer`] trait, so
+//! a Treiber stack or Michael–Scott queue is written *once* and instantiated
+//! per scheme:
+//!
+//! | Impl | Scheme (paper §1 taxonomy) | Word encoding | Free deferred? |
+//! |------|---------------------------|---------------|----------------|
+//! | [`NoReclaim`] | none — the ABA victim | bare index | no (immediate) |
+//! | [`TagReclaim`] | tagging, unbounded tag | `(index, tag)` via [`TagWord`] | no |
+//! | [`HazardReclaim`] | hazard pointers [20, 21] | bare index | until unprotected |
+//! | [`EpochReclaim`] | epoch / quiescence-based | bare index | until 2 epoch advances |
+//! | [`LlScReclaim`] | LL/SC words (Theorem 2 context) | [`AnnounceLlSc`] triple | no |
+//!
+//! A structure registers its shared words as *slots* ([`Reclaimer::add_slot`])
+//! at construction time and performs every access through a per-thread
+//! [`Guard`]: `protect` (validated load), `cas`, `retire`, `quiesce`.  The
+//! scheme-specific protocols — publish-then-revalidate for hazard pointers,
+//! pin/unpin with three limbo bags for epochs, LL/VL/SC for the LL/SC words,
+//! tag bumps for tagging — live entirely behind that interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aba_core::pack::TagWord;
+use aba_core::{AnnounceLlSc, AnnounceLlScHandle};
+use aba_hazard::HazardDomain;
+
+pub mod epoch;
+
+pub use epoch::{EpochGuard, EpochReclaim};
+
+/// Index value meaning "null" in the decoded (index) domain.
+pub const NIL: u64 = u64::MAX;
+
+/// Identifier of a structure word registered with [`Reclaimer::add_slot`].
+pub type SlotId = usize;
+
+// ---------------------------------------------------------------------------
+// The trait pair
+// ---------------------------------------------------------------------------
+
+/// A node-reclamation / ABA-protection scheme for index-linked structures.
+///
+/// The protocol between a structure and its reclaimer:
+///
+/// 1. at construction the structure calls [`Reclaimer::add_slot`] once per
+///    shared word (head, tail, …) — all slots before the first guard;
+/// 2. each worker thread obtains one [`Guard`] via [`Reclaimer::guard`] and
+///    performs every slot and link access through it;
+/// 3. a node unlinked by a successful [`Guard::cas`] is handed to
+///    [`Guard::retire`], which frees it *now* (unprotected, tagged, LL/SC) or
+///    *later* (hazard pointers, epochs) via the supplied `free` callback.
+pub trait Reclaimer: Send + Sync + 'static {
+    /// The per-thread guard type.
+    type Guard<'a>: Guard
+    where
+        Self: 'a;
+
+    /// A reclaimer for `threads` threads, each of which may protect up to
+    /// `lanes` nodes simultaneously (1 for a stack, 2 for an MS queue).
+    fn new(threads: usize, lanes: usize) -> Self;
+
+    /// Register a shared structure word initially designating node `idx`
+    /// ([`NIL`] for an initially empty word).  Must be called before the
+    /// first [`Reclaimer::guard`].
+    fn add_slot(&mut self, idx: u64) -> SlotId;
+
+    /// The per-thread guard for `tid`.  `capacity` is the node-arena
+    /// capacity, used by deferred schemes to size their eager-reclamation
+    /// policy (small arenas must not starve behind a long limbo list).
+    fn guard(&self, tid: usize, capacity: usize) -> Self::Guard<'_>;
+
+    /// Short scheme name for taxonomy tables ("unprotected", "tagged", …).
+    fn scheme(&self) -> &'static str;
+
+    /// Display name for the Treiber-stack instantiation (stable registry
+    /// value, used in experiment tables).
+    fn stack_label(&self) -> &'static str;
+
+    /// Display name for the MS-queue instantiation.
+    fn queue_label(&self) -> &'static str;
+
+    /// Number of nodes retired but not yet handed back to the allocator —
+    /// the scheme's *space overhead*, the paper's second axis.  Always 0 for
+    /// immediate-free schemes.
+    fn unreclaimed(&self) -> u64 {
+        0
+    }
+
+    /// For schemes whose ABA can corrupt a queue's links into a cycle
+    /// (only [`NoReclaim`]): the retry budget after which an operation must
+    /// bail out rather than wedge the harness.  `None` = retry forever.
+    fn retry_bound(&self, capacity: usize) -> Option<usize> {
+        let _ = capacity;
+        None
+    }
+}
+
+/// Per-thread access handle of a [`Reclaimer`].
+///
+/// `raw` words returned by [`Guard::protect`] / [`Guard::load`] /
+/// [`Guard::load_link`] are opaque to the structure: it extracts the
+/// designated node with [`Guard::index_of`] and passes the raw word back to
+/// [`Guard::validate`] / [`Guard::cas`] unchanged.
+pub trait Guard: Send {
+    /// Validated, *protected* load of a slot: after this returns, the
+    /// designated node (if any) will not be recycled until the protection is
+    /// released by [`Guard::retire`] or [`Guard::quiesce`].  `lane` selects
+    /// which of the guard's protection lanes to use.
+    fn protect(&mut self, lane: usize, slot: SlotId) -> u64;
+
+    /// Plain load of a slot, without node protection (for words that are
+    /// only CASed, never dereferenced — e.g. a stack head during push).
+    fn load(&mut self, slot: SlotId) -> u64;
+
+    /// Whether `slot` still holds `raw` (a `VL` for LL/SC words).
+    fn validate(&mut self, slot: SlotId, raw: u64) -> bool;
+
+    /// Attempt to swing `slot` from the previously observed `raw` to a word
+    /// designating `idx` ([`NIL`] allowed); an intervening change makes it
+    /// fail.
+    fn cas(&mut self, slot: SlotId, raw: u64, idx: u64) -> bool;
+
+    /// Extend protection in `lane` to node `idx` (read out of a link word),
+    /// then confirm `slot` still holds `raw`; `false` means the snapshot went
+    /// stale and the caller must retry before trusting the protection.
+    fn protect_link(&mut self, lane: usize, idx: u64, slot: SlotId, raw: u64) -> bool;
+
+    /// Load a link word (a node's next field).
+    fn load_link(&self, link: &AtomicU64) -> u64;
+
+    /// Store a link word designating `idx` ([`NIL`] allowed).  Only legal on
+    /// a node the calling thread owns (freshly allocated, not yet linked);
+    /// tagging schemes preserve — and bump — the link's tag across recycling
+    /// here, which is what keeps a stale CAS aimed at the node's previous
+    /// incarnation from succeeding.
+    fn store_link(&self, link: &AtomicU64, idx: u64);
+
+    /// CAS a link word from the observed `raw` to a word designating `idx`.
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool;
+
+    /// The node a raw word designates ([`NIL`] if none).
+    fn index_of(&self, raw: u64) -> u64;
+
+    /// Hand over a node unlinked by a successful [`Guard::cas`].  Releases
+    /// this operation's protections, then frees the node through `free` —
+    /// immediately, or once the scheme's safety condition holds.
+    fn retire(&mut self, idx: u64, free: impl FnMut(u64));
+
+    /// Release all protections without retiring anything (the empty-return
+    /// and push/enqueue completion paths).
+    fn quiesce(&mut self);
+
+    /// Allocation-pressure hook: reclaim everything that can possibly be
+    /// reclaimed right now (the arena is exhausted).  Must be called
+    /// quiesced.
+    fn reclaim_pressure(&mut self, free: impl FnMut(u64));
+}
+
+// ---------------------------------------------------------------------------
+// NoReclaim: bare words, immediate free — the ABA victim.
+// ---------------------------------------------------------------------------
+
+/// No protection at all: bare-index words and immediate recycling.  The
+/// textbook ABA victim, kept as the experiments' baseline.
+#[derive(Debug, Default)]
+pub struct NoReclaim {
+    slots: Vec<AtomicU64>,
+}
+
+impl Reclaimer for NoReclaim {
+    type Guard<'a> = NoGuard<'a>;
+
+    fn new(_threads: usize, _lanes: usize) -> Self {
+        NoReclaim { slots: Vec::new() }
+    }
+
+    fn add_slot(&mut self, idx: u64) -> SlotId {
+        self.slots.push(AtomicU64::new(idx));
+        self.slots.len() - 1
+    }
+
+    fn guard(&self, _tid: usize, _capacity: usize) -> NoGuard<'_> {
+        NoGuard { slots: &self.slots }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "unprotected"
+    }
+
+    fn stack_label(&self) -> &'static str {
+        "Treiber (unprotected)"
+    }
+
+    fn queue_label(&self) -> &'static str {
+        "MS queue (unprotected)"
+    }
+
+    fn retry_bound(&self, capacity: usize) -> Option<usize> {
+        // An ABA can link the queue into a cycle, after which the standard
+        // unbounded retry loops spin forever; bail out after a generous
+        // budget so the harness observes the corruption instead of wedging.
+        Some(8 * capacity + 256)
+    }
+}
+
+/// Guard of [`NoReclaim`]: plain loads and CASes.
+#[derive(Debug)]
+pub struct NoGuard<'a> {
+    slots: &'a [AtomicU64],
+}
+
+impl Guard for NoGuard<'_> {
+    fn protect(&mut self, _lane: usize, slot: SlotId) -> u64 {
+        self.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn load(&mut self, slot: SlotId) -> u64 {
+        self.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn validate(&mut self, slot: SlotId, raw: u64) -> bool {
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn cas(&mut self, slot: SlotId, raw: u64, idx: u64) -> bool {
+        self.slots[slot]
+            .compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn protect_link(&mut self, _lane: usize, _idx: u64, slot: SlotId, raw: u64) -> bool {
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn load_link(&self, link: &AtomicU64) -> u64 {
+        link.load(Ordering::SeqCst)
+    }
+
+    fn store_link(&self, link: &AtomicU64, idx: u64) {
+        link.store(idx, Ordering::SeqCst);
+    }
+
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool {
+        link.compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn index_of(&self, raw: u64) -> u64 {
+        raw
+    }
+
+    fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
+        free(idx);
+    }
+
+    fn quiesce(&mut self) {}
+
+    fn reclaim_pressure(&mut self, _free: impl FnMut(u64)) {}
+}
+
+// ---------------------------------------------------------------------------
+// TagReclaim: §1 tagging — (index, tag) words, every CAS bumps the tag.
+// ---------------------------------------------------------------------------
+
+/// In the tag domain the index field uses `u32::MAX` for nil (the index
+/// occupies [`TagWord`]'s 32-bit value field).
+const TAG_IDX_NIL: u32 = u32::MAX;
+
+fn tag_encode(idx: u64) -> u32 {
+    if idx == NIL {
+        TAG_IDX_NIL
+    } else {
+        idx as u32
+    }
+}
+
+/// The §1 tagging technique: every structure and link word packs
+/// `(index, tag)` into one CAS word (via `aba-core`'s [`TagWord`], the same
+/// helper behind the tagged register baseline), and every successful CAS
+/// bumps the tag, so a recycled index can never be confused with its
+/// previous incarnation.  Nodes are freed immediately.
+#[derive(Debug, Default)]
+pub struct TagReclaim {
+    slots: Vec<AtomicU64>,
+}
+
+impl Reclaimer for TagReclaim {
+    type Guard<'a> = TagGuard<'a>;
+
+    fn new(_threads: usize, _lanes: usize) -> Self {
+        TagReclaim { slots: Vec::new() }
+    }
+
+    fn add_slot(&mut self, idx: u64) -> SlotId {
+        self.slots.push(AtomicU64::new(
+            TagWord {
+                value: tag_encode(idx),
+                tag: 0,
+            }
+            .pack(),
+        ));
+        self.slots.len() - 1
+    }
+
+    fn guard(&self, _tid: usize, _capacity: usize) -> TagGuard<'_> {
+        TagGuard { slots: &self.slots }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "tagged"
+    }
+
+    fn stack_label(&self) -> &'static str {
+        "Treiber (tagged head)"
+    }
+
+    fn queue_label(&self) -> &'static str {
+        "MS queue (tagged)"
+    }
+}
+
+/// Guard of [`TagReclaim`]: packed-word loads, tag-bumping CASes.
+#[derive(Debug)]
+pub struct TagGuard<'a> {
+    slots: &'a [AtomicU64],
+}
+
+impl TagGuard<'_> {
+    fn bump(raw: u64, idx: u64) -> u64 {
+        TagWord::unpack(raw).bump(tag_encode(idx)).pack()
+    }
+}
+
+impl Guard for TagGuard<'_> {
+    fn protect(&mut self, _lane: usize, slot: SlotId) -> u64 {
+        self.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn load(&mut self, slot: SlotId) -> u64 {
+        self.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn validate(&mut self, slot: SlotId, raw: u64) -> bool {
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn cas(&mut self, slot: SlotId, raw: u64, idx: u64) -> bool {
+        self.slots[slot]
+            .compare_exchange(
+                raw,
+                Self::bump(raw, idx),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    fn protect_link(&mut self, _lane: usize, _idx: u64, slot: SlotId, raw: u64) -> bool {
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn load_link(&self, link: &AtomicU64) -> u64 {
+        link.load(Ordering::SeqCst)
+    }
+
+    fn store_link(&self, link: &AtomicU64, idx: u64) {
+        // The node is exclusively owned by the caller here, so a plain
+        // read-then-store is race-free; preserving (and bumping) the link's
+        // previous tag across recycling is what defeats a stale CAS aimed at
+        // the node's earlier incarnation.
+        let old = link.load(Ordering::SeqCst);
+        link.store(Self::bump(old, idx), Ordering::SeqCst);
+    }
+
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool {
+        link.compare_exchange(
+            raw,
+            Self::bump(raw, idx),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn index_of(&self, raw: u64) -> u64 {
+        let idx = TagWord::unpack(raw).value;
+        if idx == TAG_IDX_NIL {
+            NIL
+        } else {
+            idx as u64
+        }
+    }
+
+    fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
+        free(idx);
+    }
+
+    fn quiesce(&mut self) {}
+
+    fn reclaim_pressure(&mut self, _free: impl FnMut(u64)) {}
+}
+
+// ---------------------------------------------------------------------------
+// HazardReclaim: Michael's hazard pointers over the aba-hazard domain.
+// ---------------------------------------------------------------------------
+
+/// Hazard-pointer protection (Michael [20, 21]), wrapping the existing
+/// [`HazardDomain`]: `protect` publishes a hazard and re-validates its
+/// source, `retire` defers the free until no thread protects the node.
+#[derive(Debug)]
+pub struct HazardReclaim {
+    domain: HazardDomain,
+    slots: Vec<AtomicU64>,
+    lanes: usize,
+    unreclaimed: AtomicU64,
+}
+
+impl Reclaimer for HazardReclaim {
+    type Guard<'a> = HazardGuard<'a>;
+
+    fn new(threads: usize, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        HazardReclaim {
+            domain: HazardDomain::new(threads.max(1) * lanes),
+            slots: Vec::new(),
+            lanes,
+            unreclaimed: AtomicU64::new(0),
+        }
+    }
+
+    fn add_slot(&mut self, idx: u64) -> SlotId {
+        self.slots.push(AtomicU64::new(idx));
+        self.slots.len() - 1
+    }
+
+    fn guard(&self, tid: usize, capacity: usize) -> HazardGuard<'_> {
+        HazardGuard {
+            lanes: (0..self.lanes)
+                .map(|lane| self.domain.handle(tid * self.lanes + lane))
+                .collect(),
+            slots: &self.slots,
+            unreclaimed: &self.unreclaimed,
+            capacity,
+        }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "hazard pointers"
+    }
+
+    fn stack_label(&self) -> &'static str {
+        "Treiber (hazard pointers)"
+    }
+
+    fn queue_label(&self) -> &'static str {
+        "MS queue (hazard pointers)"
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.unreclaimed.load(Ordering::SeqCst)
+    }
+}
+
+impl HazardReclaim {
+    /// The underlying hazard domain (for tests and diagnostics).
+    pub fn domain(&self) -> &HazardDomain {
+        &self.domain
+    }
+}
+
+/// Guard of [`HazardReclaim`]: one hazard slot per lane plus the retired
+/// list carried by lane 0's handle.
+pub struct HazardGuard<'a> {
+    lanes: Vec<aba_hazard::HazardHandle<'a>>,
+    slots: &'a [AtomicU64],
+    unreclaimed: &'a AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for HazardGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HazardGuard")
+            .field("lanes", &self.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Guard for HazardGuard<'_> {
+    fn protect(&mut self, lane: usize, slot: SlotId) -> u64 {
+        // Publish, then re-validate that the word did not move before the
+        // hazard became visible (the standard protocol), looping until the
+        // snapshot is stable.
+        loop {
+            let raw = self.slots[slot].load(Ordering::SeqCst);
+            if raw == NIL {
+                self.lanes[lane].clear();
+                return raw;
+            }
+            self.lanes[lane].protect(raw);
+            if self.slots[slot].load(Ordering::SeqCst) == raw {
+                return raw;
+            }
+        }
+    }
+
+    fn load(&mut self, slot: SlotId) -> u64 {
+        self.slots[slot].load(Ordering::SeqCst)
+    }
+
+    fn validate(&mut self, slot: SlotId, raw: u64) -> bool {
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn cas(&mut self, slot: SlotId, raw: u64, idx: u64) -> bool {
+        self.slots[slot]
+            .compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn protect_link(&mut self, lane: usize, idx: u64, slot: SlotId, raw: u64) -> bool {
+        // Publish the hazard for the node read out of a link, then confirm
+        // the anchoring slot has not moved: only then was the node really
+        // reachable — and therefore not yet retired — while both hazards
+        // were visible.
+        self.lanes[lane].protect(idx);
+        self.slots[slot].load(Ordering::SeqCst) == raw
+    }
+
+    fn load_link(&self, link: &AtomicU64) -> u64 {
+        link.load(Ordering::SeqCst)
+    }
+
+    fn store_link(&self, link: &AtomicU64, idx: u64) {
+        link.store(idx, Ordering::SeqCst);
+    }
+
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool {
+        link.compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn index_of(&self, raw: u64) -> u64 {
+        raw
+    }
+
+    fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
+        // The operation is complete: its protections are released before the
+        // node is retired, so our own hazards never pin our own retirees.
+        for lane in &self.lanes {
+            lane.clear();
+        }
+        let unreclaimed = self.unreclaimed;
+        unreclaimed.fetch_add(1, Ordering::SeqCst);
+        let mut counted = |v: u64| {
+            unreclaimed.fetch_sub(1, Ordering::SeqCst);
+            free(v);
+        };
+        self.lanes[0].retire(idx, &mut counted);
+        // Small arenas need eager reclamation: flush whenever the retired
+        // list holds a meaningful share of the arena.
+        if self.lanes[0].retired_len() * 4 >= self.capacity {
+            self.lanes[0].flush(&mut counted);
+        }
+    }
+
+    fn quiesce(&mut self) {
+        for lane in &self.lanes {
+            lane.clear();
+        }
+    }
+
+    fn reclaim_pressure(&mut self, mut free: impl FnMut(u64)) {
+        let unreclaimed = self.unreclaimed;
+        self.lanes[0].flush(|v| {
+            unreclaimed.fetch_sub(1, Ordering::SeqCst);
+            free(v);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LlScReclaim: every structure word is an LL/SC/VL object.
+// ---------------------------------------------------------------------------
+
+/// `u32::MAX` marks nil inside an LL/SC word (its value domain is `u32`).
+const LLSC_NIL: u32 = u32::MAX;
+
+/// The paper's primitive as the fix: every structure word is an LL/SC/VL
+/// object ([`AnnounceLlSc`]), so a store-conditional fails whenever any
+/// successful SC intervened — a recycled index can never be confused with
+/// its previous incarnation.  Nodes are freed immediately.
+#[derive(Debug)]
+pub struct LlScReclaim {
+    threads: usize,
+    slots: Vec<AnnounceLlSc>,
+}
+
+impl Reclaimer for LlScReclaim {
+    type Guard<'a> = LlScGuard<'a>;
+
+    fn new(threads: usize, _lanes: usize) -> Self {
+        LlScReclaim {
+            threads: threads.max(1),
+            slots: Vec::new(),
+        }
+    }
+
+    fn add_slot(&mut self, idx: u64) -> SlotId {
+        let initial = if idx == NIL { LLSC_NIL } else { idx as u32 };
+        self.slots
+            .push(AnnounceLlSc::with_initial(self.threads, initial));
+        self.slots.len() - 1
+    }
+
+    fn guard(&self, tid: usize, _capacity: usize) -> LlScGuard<'_> {
+        LlScGuard {
+            handles: self.slots.iter().map(|s| s.handle(tid)).collect(),
+        }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "LL/SC"
+    }
+
+    fn stack_label(&self) -> &'static str {
+        "Treiber (LL/SC head)"
+    }
+
+    fn queue_label(&self) -> &'static str {
+        "MS queue (LL/SC head+tail)"
+    }
+}
+
+/// Guard of [`LlScReclaim`]: one persistent [`AnnounceLlScHandle`] per slot
+/// (the LL link and sequence-recycling state live in the handle).
+#[derive(Debug)]
+pub struct LlScGuard<'a> {
+    handles: Vec<AnnounceLlScHandle<'a>>,
+}
+
+impl Guard for LlScGuard<'_> {
+    fn protect(&mut self, _lane: usize, slot: SlotId) -> u64 {
+        self.handles[slot].ll() as u64
+    }
+
+    fn load(&mut self, slot: SlotId) -> u64 {
+        // A load that may later be CASed must leave a link: LL.
+        self.handles[slot].ll() as u64
+    }
+
+    fn validate(&mut self, slot: SlotId, _raw: u64) -> bool {
+        self.handles[slot].vl()
+    }
+
+    fn cas(&mut self, slot: SlotId, _raw: u64, idx: u64) -> bool {
+        let word = if idx == NIL { LLSC_NIL } else { idx as u32 };
+        self.handles[slot].sc(word)
+    }
+
+    fn protect_link(&mut self, _lane: usize, _idx: u64, slot: SlotId, _raw: u64) -> bool {
+        // The VL certifies that no SC succeeded on the anchoring word since
+        // our LL, so the link we read was — and still is — its successor.
+        self.handles[slot].vl()
+    }
+
+    fn load_link(&self, link: &AtomicU64) -> u64 {
+        link.load(Ordering::SeqCst)
+    }
+
+    fn store_link(&self, link: &AtomicU64, idx: u64) {
+        link.store(idx, Ordering::SeqCst);
+    }
+
+    fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool {
+        link.compare_exchange(raw, idx, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn index_of(&self, raw: u64) -> u64 {
+        if raw == NIL || raw == LLSC_NIL as u64 {
+            NIL
+        } else {
+            raw
+        }
+    }
+
+    fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
+        free(idx);
+    }
+
+    fn quiesce(&mut self) {}
+
+    fn reclaim_pressure(&mut self, _free: impl FnMut(u64)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Reclaimer>() {
+        let mut r = R::new(2, 1);
+        let head = r.add_slot(NIL);
+        let mut g = r.guard(0, 8);
+        let raw = g.protect(0, head);
+        assert_eq!(g.index_of(raw), NIL);
+        let raw = g.load(head);
+        assert!(g.cas(head, raw, 3));
+        let raw = g.protect(0, head);
+        assert_eq!(g.index_of(raw), 3);
+        assert!(g.validate(head, raw));
+        assert!(g.cas(head, raw, NIL));
+        let mut freed = Vec::new();
+        g.retire(3, |v| freed.push(v));
+        g.quiesce();
+        g.reclaim_pressure(|v| freed.push(v));
+        assert_eq!(freed, vec![3], "{} must free the sole retiree", r.scheme());
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_protect_cas_retire() {
+        roundtrip::<NoReclaim>();
+        roundtrip::<TagReclaim>();
+        roundtrip::<HazardReclaim>();
+        roundtrip::<EpochReclaim>();
+        roundtrip::<LlScReclaim>();
+    }
+
+    fn link_roundtrip<R: Reclaimer>() {
+        let r = R::new(1, 1);
+        let g = r.guard(0, 8);
+        let link = AtomicU64::new(NIL);
+        assert_eq!(g.index_of(g.load_link(&link)), NIL);
+        g.store_link(&link, 5);
+        assert_eq!(g.index_of(g.load_link(&link)), 5);
+        let raw = g.load_link(&link);
+        assert!(g.cas_link(&link, raw, 6));
+        assert_eq!(g.index_of(g.load_link(&link)), 6);
+        assert!(!g.cas_link(&link, raw, 7), "stale link CAS must fail");
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_links() {
+        link_roundtrip::<NoReclaim>();
+        link_roundtrip::<TagReclaim>();
+        link_roundtrip::<HazardReclaim>();
+        link_roundtrip::<EpochReclaim>();
+        link_roundtrip::<LlScReclaim>();
+    }
+
+    #[test]
+    fn tagged_cas_defeats_a_recycled_word() {
+        // The classic ABA shape: observe (idx 3), swing away and back; the
+        // raw word's tag has moved on, so the stale CAS fails even though
+        // the index matches.
+        let mut r = TagReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut a = r.guard(0, 8);
+        let mut b = r.guard(1, 8);
+        let stale = a.protect(0, head);
+        let raw = b.protect(0, head);
+        assert!(b.cas(head, raw, 7));
+        let raw = b.protect(0, head);
+        assert!(b.cas(head, raw, 3)); // back to index 3, tag bumped twice
+        let now = b.load(head);
+        assert_eq!(b.index_of(now), 3);
+        assert!(!a.cas(head, stale, 9), "stale CAS must fail despite A-B-A");
+    }
+
+    #[test]
+    fn unprotected_cas_is_fooled_by_a_recycled_word() {
+        let mut r = NoReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut a = r.guard(0, 8);
+        let mut b = r.guard(1, 8);
+        let stale = a.protect(0, head);
+        let raw = b.load(head);
+        assert!(b.cas(head, raw, 7));
+        let raw = b.load(head);
+        assert!(b.cas(head, raw, 3));
+        assert!(
+            a.cas(head, stale, 9),
+            "the unprotected CAS succeeds on the recycled word — the ABA"
+        );
+    }
+
+    #[test]
+    fn llsc_sc_fails_after_any_intervening_sc() {
+        let mut r = LlScReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut a = r.guard(0, 8);
+        let mut b = r.guard(1, 8);
+        let stale = a.protect(0, head);
+        let raw = b.load(head);
+        assert!(b.cas(head, raw, 7));
+        let raw = b.load(head);
+        assert!(b.cas(head, raw, 3));
+        assert!(!a.cas(head, stale, 9), "SC must fail despite the A-B-A");
+        assert!(!a.validate(head, stale));
+    }
+
+    #[test]
+    fn hazard_retire_defers_while_protected() {
+        let mut r = HazardReclaim::new(2, 1);
+        let head = r.add_slot(4);
+        let mut protector = r.guard(0, 64);
+        let mut retirer = r.guard(1, 64);
+        let raw = protector.protect(0, head);
+        assert_eq!(raw, 4);
+        let mut freed = Vec::new();
+        retirer.retire(4, |v| freed.push(v));
+        retirer.reclaim_pressure(|v| freed.push(v));
+        assert!(freed.is_empty(), "4 is protected by guard 0");
+        assert_eq!(r.unreclaimed(), 1);
+        protector.quiesce();
+        retirer.reclaim_pressure(|v| freed.push(v));
+        assert_eq!(freed, vec![4]);
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn hazard_small_arena_flushes_eagerly() {
+        // With a capacity-8 arena the 2nd unprotected retiree crosses the
+        // retired_len * 4 >= capacity bar and the whole list is flushed.
+        let mut r = HazardReclaim::new(1, 1);
+        let _ = r.add_slot(NIL);
+        let mut g = r.guard(0, 8);
+        let mut freed = Vec::new();
+        g.retire(1, |v| freed.push(v));
+        g.retire(2, |v| freed.push(v));
+        assert_eq!(freed, vec![1, 2]);
+    }
+
+    #[test]
+    fn labels_and_schemes_are_distinct() {
+        let labels: Vec<(&str, &str, &str)> = vec![
+            {
+                let r = NoReclaim::new(1, 1);
+                (r.scheme(), r.stack_label(), r.queue_label())
+            },
+            {
+                let r = TagReclaim::new(1, 1);
+                (r.scheme(), r.stack_label(), r.queue_label())
+            },
+            {
+                let r = HazardReclaim::new(1, 1);
+                (r.scheme(), r.stack_label(), r.queue_label())
+            },
+            {
+                let r = EpochReclaim::new(1, 1);
+                (r.scheme(), r.stack_label(), r.queue_label())
+            },
+            {
+                let r = LlScReclaim::new(1, 1);
+                (r.scheme(), r.stack_label(), r.queue_label())
+            },
+        ];
+        for proj in 0..3 {
+            let mut one: Vec<&str> = labels.iter().map(|&(s, st, q)| [s, st, q][proj]).collect();
+            one.sort_unstable();
+            one.dedup();
+            assert_eq!(one.len(), 5, "projection {proj} must be distinct");
+        }
+    }
+
+    #[test]
+    fn only_the_unprotected_scheme_bounds_retries() {
+        assert!(NoReclaim::new(1, 1).retry_bound(8).is_some());
+        assert!(TagReclaim::new(1, 1).retry_bound(8).is_none());
+        assert!(HazardReclaim::new(1, 1).retry_bound(8).is_none());
+        assert!(EpochReclaim::new(1, 1).retry_bound(8).is_none());
+        assert!(LlScReclaim::new(1, 1).retry_bound(8).is_none());
+    }
+}

@@ -6,9 +6,13 @@
 //! * [`baselines`] — the unbounded tagged baseline and a broken naive
 //!   register;
 //! * [`queue`] — step-level Michael–Scott queues (unprotected and tagged)
-//!   whose schedules the ABA-witness search controls.
+//!   whose schedules the ABA-witness search controls;
+//! * [`epoch`] — the epoch-reclaimed MS queue (pin/advance/limbo as
+//!   explicit shared-memory steps), the simulator counterpart of
+//!   `aba_reclaim::EpochReclaim`.
 
 pub mod baselines;
+pub mod epoch;
 pub mod fig3;
 pub mod fig4;
 pub mod queue;

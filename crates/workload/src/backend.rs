@@ -8,11 +8,12 @@
 //! instance for every measurement cell, so that repetitions never observe
 //! each other's state.
 //!
-//! [`standard_backends`] is the roster the E7/E8 experiments sweep: every
+//! [`standard_backends`] is the roster the E7/E8/E9 experiments sweep: every
 //! `LlScObject` implementation in `aba-core` (Figure 3's single-CAS object,
 //! the announce-array object, and Moir's construction at three tag widths)
 //! plus every Treiber-stack variant and every MS-queue variant in
-//! `aba-lockfree` (unprotected, tagged, hazard-protected and LL/SC-worded).
+//! `aba-lockfree` — one per `aba-reclaim` scheme (unprotected, tagged,
+//! hazard-protected, epoch-reclaimed and LL/SC-worded), 15 backends total.
 
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
 use aba_lockfree::{queue_builders, stack_builders, Queue, QueueHandle, Stack, StackHandle};
@@ -30,6 +31,14 @@ pub trait Workload: Send + Sync {
     ///
     /// Implementations panic if `tid >= self.threads()`.
     fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_>;
+
+    /// Nodes retired but not yet returned to the backend's allocator — the
+    /// protection scheme's instantaneous space overhead.  0 for backends
+    /// without deferred reclamation (the engine's `peak_unreclaimed` gauge
+    /// samples this concurrently with the workers).
+    fn unreclaimed(&self) -> u64 {
+        0
+    }
 }
 
 /// Per-thread operations a scenario can issue against a [`Workload`].
@@ -164,6 +173,10 @@ impl Workload for StackWorkload {
             handle: self.stack.handle(tid),
         })
     }
+
+    fn unreclaimed(&self) -> u64 {
+        self.stack.unreclaimed()
+    }
 }
 
 struct StackOps<'a> {
@@ -226,6 +239,10 @@ impl Workload for QueueWorkload {
         Box::new(QueueOps {
             handle: self.queue.handle(tid),
         })
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.queue.unreclaimed()
     }
 }
 
@@ -351,14 +368,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_thirteen_distinct_backends() {
+    fn roster_has_fifteen_distinct_backends() {
         let specs = standard_backends();
-        assert_eq!(specs.len(), 13);
+        assert_eq!(specs.len(), 15);
         let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13);
-        // Both structure families are present.
+        assert_eq!(names.len(), 15);
+        // Both structure families are present, one backend per scheme.
         let queues = specs
             .iter()
             .filter(|s| s.name().starts_with("queue/"))
@@ -367,7 +384,30 @@ mod tests {
             .iter()
             .filter(|s| s.name().starts_with("stack/"))
             .count();
-        assert_eq!((queues, stacks), (4, 4));
+        assert_eq!((queues, stacks), (5, 5));
+    }
+
+    #[test]
+    fn deferred_backends_expose_the_unreclaimed_gauge() {
+        for spec in standard_backends() {
+            let wants_limbo = matches!(
+                spec.name(),
+                "stack/hazard" | "stack/epoch" | "queue/hazard" | "queue/epoch"
+            );
+            let w = spec.build(1);
+            let mut ops = w.worker(0);
+            ops.write(5);
+            ops.read(); // pop/dequeue: retires a node under deferred schemes
+            if wants_limbo {
+                assert!(
+                    w.unreclaimed() > 0,
+                    "{}: a just-retired node must be visible in the gauge",
+                    spec.name()
+                );
+            } else {
+                assert_eq!(w.unreclaimed(), 0, "{}", spec.name());
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub struct CellResult {
     pub p50_ns: u64,
     /// 99th-percentile sampled operation latency, nanoseconds.
     pub p99_ns: u64,
+    /// Peak retired-but-unreclaimed node count observed across the timed
+    /// repetitions (sampled on the latency stride) — the protection
+    /// scheme's space overhead, measured rather than inferred.  Always 0
+    /// for backends without deferred reclamation.
+    pub peak_unreclaimed: u64,
     /// Number of timed repetitions behind the median.
     pub repetitions: usize,
 }
@@ -124,6 +129,7 @@ struct WorkerStats {
     started: Instant,
     finished: Instant,
     latencies_ns: Vec<u64>,
+    peak_unreclaimed: u64,
 }
 
 /// Result of one timed round: merged worker counters plus wall time.
@@ -132,6 +138,7 @@ struct RoundStats {
     ops: u64,
     elapsed: Duration,
     latencies_ns: Vec<u64>,
+    peak_unreclaimed: u64,
 }
 
 /// Whether worker `tid` samples the latency of its `i`-th operation, for a
@@ -177,11 +184,12 @@ fn run_round(
                     let mut worker = workload.worker(tid);
                     let mut latencies_ns = Vec::new();
                     let mut ops_done = 0u64;
+                    let mut peak_unreclaimed = 0u64;
                     barrier.wait();
                     let started = Instant::now();
                     for i in 0..ops {
-                        let timer = (sample_period != 0 && should_sample(tid, i, sample_period))
-                            .then(Instant::now);
+                        let sampled = sample_period != 0 && should_sample(tid, i, sample_period);
+                        let timer = sampled.then(Instant::now);
                         match scenario.op(tid, i) {
                             Op::Read => worker.read(),
                             Op::Write(v) => worker.write(v),
@@ -190,6 +198,13 @@ fn run_round(
                         if let Some(t0) = timer {
                             latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         }
+                        if sampled {
+                            // Space gauge on the same stride as the latency
+                            // sampler: one atomic load, mid-traffic, so the
+                            // reported peak reflects limbo under load rather
+                            // than the post-round calm.
+                            peak_unreclaimed = peak_unreclaimed.max(workload.unreclaimed());
+                        }
                         ops_done += 1;
                     }
                     WorkerStats {
@@ -197,6 +212,7 @@ fn run_round(
                         started,
                         finished: Instant::now(),
                         latencies_ns,
+                        peak_unreclaimed,
                     }
                 })
             })
@@ -220,10 +236,12 @@ fn run_round(
         ops: 0,
         elapsed: last_finish.duration_since(first_start),
         latencies_ns: Vec::new(),
+        peak_unreclaimed: 0,
     };
     for stats in per_thread {
         merged.ops += stats.ops;
         merged.latencies_ns.extend(stats.latencies_ns);
+        merged.peak_unreclaimed = merged.peak_unreclaimed.max(stats.peak_unreclaimed);
     }
     merged
 }
@@ -271,6 +289,7 @@ pub fn run_cell(
     let mut throughputs = Vec::with_capacity(config.repetitions);
     let mut pooled_latencies = Vec::new();
     let mut ops_per_rep = 0u64;
+    let mut peak_unreclaimed = 0u64;
     for _ in 0..config.repetitions {
         // A fresh instance per repetition: repetitions must not observe each
         // other's residual state (a half-full stack, a drifted tag).
@@ -290,6 +309,7 @@ pub fn run_cell(
         ops_per_rep = round.ops;
         throughputs.push(round.ops as f64 / round.elapsed.as_secs_f64().max(1e-9));
         pooled_latencies.extend(round.latencies_ns);
+        peak_unreclaimed = peak_unreclaimed.max(round.peak_unreclaimed);
     }
     pooled_latencies.sort_unstable();
     CellResult {
@@ -300,6 +320,7 @@ pub fn run_cell(
         ops_per_sec: median(throughputs),
         p50_ns: percentile(&pooled_latencies, 50),
         p99_ns: percentile(&pooled_latencies, 99),
+        peak_unreclaimed,
         repetitions: config.repetitions,
     }
 }
@@ -362,6 +383,27 @@ mod tests {
         for cell in &result.cells {
             assert_eq!(cell.ops_per_rep, (cell.threads * 120) as u64);
         }
+    }
+
+    #[test]
+    fn peak_unreclaimed_gauge_sees_deferred_limbo_and_stays_zero_elsewhere() {
+        let backends = standard_backends();
+        let churn = standard_scenarios()[0];
+        let epoch_stack = backends
+            .iter()
+            .find(|b| b.name() == "stack/epoch")
+            .expect("epoch backend in roster");
+        let cell = run_cell(churn, epoch_stack, 2, &tiny_config());
+        assert!(
+            cell.peak_unreclaimed > 0,
+            "churn on an epoch-reclaimed stack must show limbo nodes"
+        );
+        let immediate = backends
+            .iter()
+            .find(|b| b.name() == "stack/tagged")
+            .expect("tagged backend in roster");
+        let cell = run_cell(churn, immediate, 2, &tiny_config());
+        assert_eq!(cell.peak_unreclaimed, 0, "tagging frees immediately");
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! # aba-workload
 //!
-//! The multi-threaded workload engine behind experiments E7 and E8: a
+//! The multi-threaded workload engine behind experiments E7, E8 and E9: a
 //! deterministic [scenario](scenario::Scenario) registry (six symmetric
 //! traffic shapes plus the role-asymmetric `producer-consumer` and
 //! `pipeline`) crossed with a [backend](backend::BackendSpec) matrix over
-//! every `LlScObject` implementation, every Treiber-stack variant and every
-//! MS-queue variant, swept across thread counts by a measurement
-//! [engine](engine::run_matrix) (warmup, median-of-k repetitions, per-thread
-//! counters merged after join, p50/p99 latency sampling with a prime,
-//! per-thread-staggered stride), with results rendered as aligned text
-//! tables and a machine-readable `BENCH_throughput.json` ([report]).
+//! every `LlScObject` implementation and every Treiber-stack and MS-queue
+//! variant — one per `aba-reclaim` protection scheme, 15 backends — swept
+//! across thread counts by a measurement [engine](engine::run_matrix)
+//! (warmup, median-of-k repetitions, per-thread counters merged after join,
+//! p50/p99 latency sampling with a prime, per-thread-staggered stride, and a
+//! `peak_unreclaimed` space gauge sampled on the same stride), with results
+//! rendered as aligned text tables and a machine-readable
+//! `BENCH_throughput.json` ([report]).
 //!
 //! The paper has no wall-clock claims; what the matrix makes reproducible is
 //! the *shape*: O(1)-step implementations (announce-array, Moir, tagging)

@@ -87,6 +87,7 @@ pub fn render_tables(result: &MatrixResult) -> String {
         }
         header.push(format!("p50@{max_threads}thr"));
         header.push(format!("p99@{max_threads}thr"));
+        header.push(format!("peak-unreclaimed@{max_threads}thr"));
 
         let mut rows = Vec::new();
         for backend in backends {
@@ -104,6 +105,7 @@ pub fn render_tables(result: &MatrixResult) -> String {
                 .expect("matrix is a full cross product");
             row.push(format!("{}ns", top.p50_ns));
             row.push(format!("{}ns", top.p99_ns));
+            row.push(top.peak_unreclaimed.to_string());
             rows.push(row);
         }
 
@@ -158,8 +160,10 @@ fn config_json(config: &EngineConfig) -> String {
 }
 
 fn cell_json(cell: &CellResult) -> String {
+    // `peak_unreclaimed` is additive on the v1 schema: consumers of older
+    // documents see the pre-existing keys unchanged.
     format!(
-        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\"ops_per_rep\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{},\"repetitions\":{}}}",
+        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\"ops_per_rep\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{},\"peak_unreclaimed\":{},\"repetitions\":{}}}",
         json_escape(&cell.scenario),
         json_escape(&cell.backend),
         cell.threads,
@@ -167,6 +171,7 @@ fn cell_json(cell: &CellResult) -> String {
         json_f64(cell.ops_per_sec),
         cell.p50_ns,
         cell.p99_ns,
+        cell.peak_unreclaimed,
         cell.repetitions,
     )
 }
@@ -206,6 +211,7 @@ mod tests {
                         ops_per_sec: 1234.5,
                         p50_ns: 40,
                         p99_ns: 90,
+                        peak_unreclaimed: 3,
                         repetitions: 1,
                     });
                 }
@@ -224,10 +230,17 @@ mod tests {
     }
 
     #[test]
+    fn tables_include_the_peak_unreclaimed_column() {
+        let text = render_tables(&sample_result());
+        assert!(text.contains("peak-unreclaimed@2thr"));
+    }
+
+    #[test]
     fn json_contains_schema_config_and_every_cell() {
         let json = to_json(&sample_result());
         assert!(json.contains(JSON_SCHEMA));
         assert!(json.contains("\"thread_counts\":[1,2]"));
+        assert_eq!(json.matches("\"peak_unreclaimed\":3").count(), 8);
         assert_eq!(json.matches("\"scenario\":").count(), 8);
         // Structural sanity: balanced braces and brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

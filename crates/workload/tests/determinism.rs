@@ -69,12 +69,12 @@ fn role_asymmetric_scenarios_are_deterministic_on_queue_backends() {
         .into_iter()
         .filter(|b| b.name().starts_with("queue/"))
         .collect();
-    assert_eq!(backends.len(), 4, "all four queue variants must be swept");
+    assert_eq!(backends.len(), 5, "all five queue variants must be swept");
 
     let config = small_config();
     let first = run_matrix(&scenarios, &backends, &config);
     let second = run_matrix(&scenarios, &backends, &config);
-    assert_eq!(first.cells.len(), 2 * 4 * config.thread_counts.len());
+    assert_eq!(first.cells.len(), 2 * 5 * config.thread_counts.len());
     for (a, b) in first.cells.iter().zip(&second.cells) {
         assert_eq!(a.ops_per_rep, b.ops_per_rep, "{}/{}", a.scenario, a.backend);
         assert_eq!(a.ops_per_rep, (a.threads * config.ops_per_thread) as u64);

@@ -1,0 +1,76 @@
+//! Golden test for registry stability: the exact backend-name roster, in
+//! display order.
+//!
+//! The names are load-bearing — they key experiment tables,
+//! `BENCH_throughput.json` documents and cross-commit performance tracking —
+//! so a refactor of the structures (e.g. collapsing the hand-written
+//! variants into one generic implementation per structure) must provably
+//! keep every pre-existing name.  Growing the roster appends names; it never
+//! renames or reorders the existing ones.
+
+use aba_workload::standard_backends;
+
+/// The full roster, frozen.  PR 4 appended `stack/epoch` and `queue/epoch`;
+/// everything before them is the PR 2/PR 3 roster verbatim.
+const GOLDEN_ROSTER: [&str; 15] = [
+    "llsc/cas (Fig 3)",
+    "llsc/announce",
+    "llsc/moir tag32",
+    "llsc/moir tag16",
+    "llsc/moir tag8",
+    "stack/unprotected",
+    "stack/tagged",
+    "stack/hazard",
+    "stack/llsc-head",
+    "stack/epoch",
+    "queue/unprotected",
+    "queue/tagged",
+    "queue/hazard",
+    "queue/llsc",
+    "queue/epoch",
+];
+
+#[test]
+fn backend_roster_matches_the_golden_list_exactly() {
+    let names: Vec<&str> = standard_backends().iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names, GOLDEN_ROSTER,
+        "backend registry names/order changed — that breaks every consumer \
+         of BENCH_throughput.json; append new backends, never rename"
+    );
+}
+
+#[test]
+fn every_pre_refactor_name_is_still_present() {
+    // The PR 2/PR 3 names, independent of order, as a belt-and-braces check
+    // should the golden list above ever be edited together with a rename.
+    let names: Vec<&str> = standard_backends().iter().map(|s| s.name()).collect();
+    for legacy in [
+        "llsc/cas (Fig 3)",
+        "llsc/announce",
+        "llsc/moir tag32",
+        "llsc/moir tag16",
+        "llsc/moir tag8",
+        "stack/unprotected",
+        "stack/tagged",
+        "stack/hazard",
+        "stack/llsc-head",
+        "queue/unprotected",
+        "queue/tagged",
+        "queue/hazard",
+        "queue/llsc",
+    ] {
+        assert!(names.contains(&legacy), "legacy backend {legacy} vanished");
+    }
+}
+
+#[test]
+fn golden_backends_build_and_run() {
+    for spec in standard_backends() {
+        let w = spec.build(2);
+        let mut ops = w.worker(0);
+        ops.write(1);
+        ops.read();
+        ops.rmw(1);
+    }
+}

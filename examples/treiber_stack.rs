@@ -1,12 +1,13 @@
-//! The ABA problem in a real data structure, and three ways to fix it.
+//! The ABA problem in a real data structure, and four ways to fix it.
 //!
-//! Runs the same multi-threaded push/pop stress over four Treiber-stack
+//! Runs the same multi-threaded push/pop stress over the five Treiber-stack
 //! variants sharing one node arena design:
 //!
 //! * unprotected head CAS with immediate node recycling  → ABA events and
 //!   lost/duplicated values;
 //! * tagged head (the §1 tagging technique)              → correct;
 //! * hazard pointers (Michael [20, 21])                   → correct;
+//! * epoch-based reclamation (quiescence)                 → correct;
 //! * an LL/SC head (the paper's primitive)                → correct.
 //!
 //! Run with `cargo run --example treiber_stack --release`.
@@ -36,5 +37,5 @@ fn main() {
             report.is_conserved()
         );
     }
-    println!("\nThe unprotected variant typically shows ABA events and may lose or duplicate values; the other three always conserve every pushed value.");
+    println!("\nThe unprotected variant typically shows ABA events and may lose or duplicate values; the protected variants (tagged, hazard, epoch, LL/SC) always conserve every pushed value.");
 }

@@ -14,10 +14,15 @@
 //! * [`lowerbound`] — covering experiments, violation witnesses, the
 //!   time–space tradeoff table;
 //! * [`hazard`] — hazard pointers;
-//! * [`lockfree`] — Treiber stacks and Michael–Scott queues with pluggable
-//!   ABA protection, plus the event-signal scenario;
-//! * [`workload`] — the multi-threaded workload engine (experiments E7/E8):
-//!   scenario × backend × thread-count throughput and latency matrix.
+//! * [`reclaim`] — the [`Reclaimer`](aba_reclaim::Reclaimer) strategy trait
+//!   unifying every ABA-protection scheme (unprotected, tagged, hazard,
+//!   epoch, LL/SC) behind one guard protocol;
+//! * [`lockfree`] — one generic Treiber stack and one generic Michael–Scott
+//!   queue, instantiated per reclamation scheme, plus the event-signal
+//!   scenario;
+//! * [`workload`] — the multi-threaded workload engine (experiments
+//!   E7/E8/E9): scenario × backend × thread-count throughput, latency and
+//!   peak-unreclaimed matrix.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -29,6 +34,7 @@ pub use aba_core as core;
 pub use aba_hazard as hazard;
 pub use aba_lockfree as lockfree;
 pub use aba_lowerbound as lowerbound;
+pub use aba_reclaim as reclaim;
 pub use aba_sim as sim;
 pub use aba_spec as spec;
 pub use aba_workload as workload;

@@ -4,8 +4,8 @@
 
 use aba_repro::core::BoundedAbaRegister;
 use aba_repro::lockfree::{
-    all_queues, all_stacks, stress_queue, stress_stack, EventSignal, HazardQueue, HazardStack,
-    LlScQueue, LlScStack, NaiveEventSignal, TaggedQueue, TaggedStack,
+    all_queues, all_stacks, stress_queue, stress_stack, EpochQueue, EpochStack, EventSignal,
+    HazardQueue, HazardStack, LlScQueue, LlScStack, NaiveEventSignal, TaggedQueue, TaggedStack,
 };
 use aba_repro::workload::{
     run_cell, run_matrix, standard_backends, standard_scenarios, EngineConfig,
@@ -19,6 +19,7 @@ fn protected_stacks_conserve_values_under_concurrency() {
     let protected: Vec<Box<dyn aba_repro::lockfree::Stack>> = vec![
         Box::new(TaggedStack::new(capacity)),
         Box::new(HazardStack::new(capacity, threads)),
+        Box::new(EpochStack::new(capacity, threads)),
         Box::new(LlScStack::new(capacity, threads)),
     ];
     for stack in protected {
@@ -49,6 +50,7 @@ fn protected_queues_conserve_values_under_concurrency() {
     let protected: Vec<Box<dyn aba_repro::lockfree::Queue>> = vec![
         Box::new(TaggedQueue::new(capacity)),
         Box::new(HazardQueue::new(capacity, threads)),
+        Box::new(EpochQueue::new(capacity, threads)),
         Box::new(LlScQueue::new(capacity, threads)),
     ];
     for queue in protected {
@@ -88,7 +90,7 @@ fn role_asymmetric_scenarios_drive_queue_backends_through_the_facade() {
         .filter(|b| b.name().starts_with("queue/"))
         .collect();
     let result = run_matrix(&scenarios, &backends, &config);
-    assert_eq!(result.cells.len(), 2 * 4);
+    assert_eq!(result.cells.len(), 2 * 5);
     for cell in &result.cells {
         assert_eq!(cell.ops_per_rep, (cell.threads * 200) as u64);
         assert!(cell.ops_per_sec > 0.0);
