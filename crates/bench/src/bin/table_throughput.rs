@@ -1,14 +1,15 @@
-//! Experiments E7 and E8: the scenario × backend × thread-count throughput
+//! Experiments E7–E10: the scenario × backend × thread-count throughput
 //! matrix, driven by the `aba-workload` engine.
 //!
-//! Eight traffic shapes (stack churn, event signal/wait, counter CAS
-//! storms, read-heavy, write-heavy, pathological same-slot contention, plus
-//! the role-asymmetric producer-consumer and pipeline hand-offs) crossed
+//! Ten traffic shapes (stack churn, event signal/wait, counter CAS
+//! storms, read-heavy, write-heavy, pathological same-slot contention, the
+//! role-asymmetric producer-consumer and pipeline hand-offs, plus the
+//! key-space uniform-key-churn and hot-key-contention shapes) crossed
 //! with every `LlScObject` implementation (Figure 3's single CAS, the
-//! announce-array object, Moir at tag widths 8/16/32), every Treiber-stack
-//! variant and every MS-queue variant (unprotected, tagged,
-//! hazard-protected, LL/SC), each swept across thread counts with warmup
-//! and median-of-k repetitions.
+//! announce-array object, Moir at tag widths 8/16/32), every Treiber-stack,
+//! MS-queue and Harris–Michael-set variant (unprotected, tagged,
+//! hazard-protected, epoch-reclaimed, LL/SC), each swept across thread
+//! counts with warmup and median-of-k repetitions.
 //!
 //! Absolute numbers depend on the machine; the reproducible *shape* is that
 //! the O(1)-step implementations sustain their rate as the thread count

@@ -10,6 +10,10 @@
 //! * [`queue`] — **one** generic Michael–Scott FIFO queue over the same
 //!   arena with the same five protection strategies (the dequeue CAS is the
 //!   textbook ABA victim), experiment E8;
+//! * [`set`] — **one** generic Harris–Michael sorted linked-list set over
+//!   the same arena with the same five protection strategies (traversals
+//!   hold references deep inside the chain — the hardest ABA surface),
+//!   experiment E10;
 //! * [`stress`] — the multi-threaded stress harnesses and value-conservation
 //!   checks that quantify ABA damage;
 //! * [`event`] — the busy-wait / reset event-signalling scenario from §1,
@@ -24,6 +28,7 @@
 pub mod arena;
 pub mod event;
 pub mod queue;
+pub mod set;
 pub mod stack;
 pub mod stress;
 
@@ -43,11 +48,16 @@ pub use queue::{
     EpochQueue, GenericQueue, HazardQueue, LlScQueue, Queue, QueueHandle, TaggedQueue,
     UnprotectedQueue,
 };
+pub use set::{
+    EpochSet, GenericSet, HazardSet, LlScSet, Set, SetHandle, TaggedSet, UnprotectedSet,
+};
 pub use stack::{
     EpochStack, GenericStack, HazardStack, LlScStack, Stack, StackHandle, TaggedStack,
     UnprotectedStack,
 };
-pub use stress::{stress_queue, stress_stack, QueueStressReport, StressReport};
+pub use stress::{
+    stress_queue, stress_set, stress_stack, QueueStressReport, SetStressReport, StressReport,
+};
 
 /// A named constructor for one stack variant: `(capacity, threads) -> stack`.
 ///
@@ -135,6 +145,48 @@ pub fn all_queues(capacity: usize, threads: usize) -> Vec<Box<dyn Queue>> {
         .collect()
 }
 
+/// A named constructor for one ordered-set variant:
+/// `(capacity, threads) -> set`, mirroring [`StackBuilder`].
+pub type SetBuilder = Box<dyn Fn(usize, usize) -> Box<dyn Set> + Send + Sync>;
+
+/// Named builders for the standard roster of Harris–Michael set variants, in
+/// E10 display order.  The names are stable registry keys (used in
+/// experiment tables and `BENCH_throughput.json`), mirroring
+/// [`stack_builders`].
+pub fn set_builders() -> Vec<(&'static str, SetBuilder)> {
+    vec![
+        (
+            "set/unprotected",
+            Box::new(|cap, _threads| Box::new(UnprotectedSet::new(cap)) as Box<dyn Set>),
+        ),
+        (
+            "set/tagged",
+            Box::new(|cap, _threads| Box::new(TaggedSet::new(cap)) as Box<dyn Set>),
+        ),
+        (
+            "set/hazard",
+            Box::new(|cap, threads| Box::new(HazardSet::new(cap, threads)) as Box<dyn Set>),
+        ),
+        (
+            "set/llsc",
+            Box::new(|cap, threads| Box::new(LlScSet::new(cap, threads)) as Box<dyn Set>),
+        ),
+        (
+            "set/epoch",
+            Box::new(|cap, threads| Box::new(EpochSet::new(cap, threads)) as Box<dyn Set>),
+        ),
+    ]
+}
+
+/// The standard roster of set variants for experiment E10, sized for
+/// `threads` threads holding up to `capacity` keys each.
+pub fn all_sets(capacity: usize, threads: usize) -> Vec<Box<dyn Set>> {
+    set_builders()
+        .into_iter()
+        .map(|(_, build)| build(capacity, threads))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +254,42 @@ mod tests {
             let mut h = queue.handle(1);
             assert!(h.enqueue(9));
             assert_eq!(h.dequeue(), Some(9));
+        }
+    }
+
+    #[test]
+    fn set_roster_contains_all_five_variants() {
+        let sets = all_sets(8, 2);
+        assert_eq!(sets.len(), 5);
+        for set in &sets {
+            let mut h = set.handle(0);
+            assert!(h.insert(1));
+            assert!(h.contains(1));
+            assert!(h.remove(1));
+        }
+    }
+
+    #[test]
+    fn set_builder_registry_names_are_stable_and_distinct() {
+        let builders = set_builders();
+        let names: Vec<_> = builders.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "set/unprotected",
+                "set/tagged",
+                "set/hazard",
+                "set/llsc",
+                "set/epoch",
+            ]
+        );
+        for (_, build) in builders {
+            let set = build(4, 2);
+            let mut h = set.handle(1);
+            assert!(h.insert(9));
+            assert!(h.contains(9));
+            assert!(h.remove(9));
+            assert!(!h.contains(9));
         }
     }
 }

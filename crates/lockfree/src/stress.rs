@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::sync::Barrier;
 
 use crate::queue::Queue;
+use crate::set::Set;
 use crate::stack::Stack;
 
 /// Merged outcome of one conservation run, before harness-specific labels.
@@ -306,6 +307,106 @@ pub fn stress_queue(
     }
 }
 
+/// Result of one set stress run (experiment E10's membership-conservation
+/// check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetStressReport {
+    /// Set variant name.
+    pub set: String,
+    /// Number of threads.
+    pub threads: usize,
+    /// Insert attempts per thread.
+    pub ops_per_thread: usize,
+    /// Keys successfully inserted.
+    pub inserted: u64,
+    /// Keys removed by the workers themselves.
+    pub removed: u64,
+    /// Keys drained from the set afterwards.
+    pub remaining: u64,
+    /// ABA events the set itself detected (only the unprotected variant
+    /// reports these).
+    pub aba_events: u64,
+    /// Keys that were inserted but never seen again.
+    pub lost: u64,
+    /// Keys that were seen more often than they were inserted.
+    pub duplicated: u64,
+}
+
+impl SetStressReport {
+    /// `true` iff every inserted key was seen exactly once afterwards.
+    pub fn is_conserved(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0
+    }
+}
+
+/// Run `threads` threads, each inserting a disjoint range of keys and
+/// removing its own earlier insertions with a 50% duty cycle, then drain the
+/// set and check membership conservation: every key that went in must come
+/// out (by its inserter or the drain) exactly once.
+///
+/// Key ranges are disjoint per thread, so a *failed* remove of an own key is
+/// a key some ABA already lost, and a key seen twice (removed *and* drained,
+/// or drained twice off a corrupted chain) is a duplication — the same
+/// multiset accounting as the stack and queue harnesses, via the shared
+/// [`run_conservation`] driver.
+pub fn stress_set(set: &dyn Set, threads: usize, ops_per_thread: usize) -> SetStressReport {
+    let outcome = run_conservation(
+        threads,
+        |tid| {
+            let mut handle = set.handle(tid);
+            let mut inserted = Vec::new();
+            let mut removed = Vec::new();
+            let mut live: Vec<u32> = Vec::new();
+            for i in 0..ops_per_thread {
+                let key = (tid * ops_per_thread + i) as u32 + 1;
+                if handle.insert(key) {
+                    inserted.push(key);
+                    live.push(key);
+                } else {
+                    // Arena exhausted: hand the core to whoever can remove
+                    // (essential on single-core hosts, where a spinning
+                    // worker otherwise monopolises the timeslice).
+                    std::thread::yield_now();
+                }
+                // Remove an own earlier key with 50% duty cycle to keep the
+                // chain short and the free list hot (recycling pressure).
+                if i % 2 == 0 {
+                    if let Some(key) = live.pop() {
+                        if handle.remove(key) {
+                            removed.push(key);
+                        }
+                        // A failed remove of an own key: the key was lost
+                        // (nobody else ever removes it) — exactly what the
+                        // conservation accounting charges as `lost`.
+                    }
+                }
+            }
+            (inserted, removed)
+        },
+        {
+            // Drain by sweeping the whole (disjoint, known) key range: each
+            // call removes the next key still present.  A budget-bailing
+            // remove on a corrupted chain returns `false` and the sweep
+            // moves on, so the drain terminates even on a cycle.
+            let mut handle = set.handle(0);
+            let mut candidates = 1..=(threads * ops_per_thread) as u32;
+            move || candidates.by_ref().find(|&key| handle.remove(key))
+        },
+        set.capacity() * 4 + 16,
+    );
+    SetStressReport {
+        set: set.name().to_string(),
+        threads,
+        ops_per_thread,
+        inserted: outcome.inserted,
+        removed: outcome.taken,
+        remaining: outcome.remaining,
+        aba_events: set.aba_events(),
+        lost: outcome.lost,
+        duplicated: outcome.duplicated,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +548,80 @@ mod tests {
         let report = stress_queue(&queue, 1, 1, 2_000);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Set membership conservation (experiment E10)
+    // ------------------------------------------------------------------
+
+    use crate::set::{EpochSet, HazardSet, LlScSet, TaggedSet, UnprotectedSet};
+
+    #[test]
+    fn tagged_set_conserves_membership() {
+        let set = TaggedSet::new(CAPACITY + THREADS * 2);
+        let report = stress_set(&set, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn hazard_set_conserves_membership() {
+        let set = HazardSet::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_set(&set, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn epoch_set_conserves_membership() {
+        let set = EpochSet::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_set(&set, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn llsc_set_conserves_membership() {
+        let set = LlScSet::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_set(&set, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn unprotected_set_exhibits_aba_under_pressure() {
+        // The ABA is a race, so retry a few rounds; a tiny arena keeps the
+        // recycling (and therefore the lost-unlink window) hot.  Lost keys
+        // and detected events both count — either quantifies the damage.
+        let mut total_events = 0u64;
+        let mut total_anomalies = 0u64;
+        for _ in 0..8 {
+            let set = UnprotectedSet::new(CAPACITY);
+            let report = stress_set(&set, THREADS, OPS);
+            total_events += report.aba_events;
+            total_anomalies += report.lost + report.duplicated;
+            if total_events > 0 {
+                break;
+            }
+        }
+        assert!(
+            total_events > 0 || total_anomalies > 0,
+            "expected at least one ABA event or conservation anomaly"
+        );
+    }
+
+    #[test]
+    fn single_threaded_set_stress_is_always_clean_even_unprotected() {
+        let set = UnprotectedSet::new(CAPACITY);
+        let report = stress_set(&set, 1, 2_000);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn set_stress_leaves_no_limbo_after_the_drain_handle_drops() {
+        let set = HazardSet::new(CAPACITY + THREADS * 2, THREADS);
+        let report = stress_set(&set, THREADS, 500);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(set.unreclaimed(), 0);
     }
 
     #[test]

@@ -101,6 +101,10 @@ impl Reclaimer for EpochReclaim {
         "MS queue (epoch)"
     }
 
+    fn set_label(&self) -> &'static str {
+        "HM set (epoch)"
+    }
+
     fn unreclaimed(&self) -> u64 {
         self.unreclaimed.load(Ordering::SeqCst)
     }
@@ -240,6 +244,12 @@ impl Guard for EpochGuard<'_> {
         self.shared.slots[slot].load(Ordering::SeqCst) == raw
     }
 
+    fn protect_link_word(&mut self, _lane: usize, _idx: u64, link: &AtomicU64, raw: u64) -> bool {
+        // As with `protect_link`: the pin is the protection, the re-read is
+        // the snapshot validation.
+        link.load(Ordering::SeqCst) == raw
+    }
+
     fn load_link(&self, link: &AtomicU64) -> u64 {
         link.load(Ordering::SeqCst)
     }
@@ -255,6 +265,28 @@ impl Guard for EpochGuard<'_> {
 
     fn index_of(&self, raw: u64) -> u64 {
         raw
+    }
+
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool) {
+        link.store(crate::bare_mark_encode(idx, marked), Ordering::SeqCst);
+    }
+
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool {
+        link.compare_exchange(
+            raw,
+            crate::bare_mark_encode(idx, marked),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn marked_index_of(&self, raw: u64) -> u64 {
+        crate::bare_mark_index(raw)
+    }
+
+    fn mark_of(&self, raw: u64) -> bool {
+        crate::bare_mark_of(raw)
     }
 
     fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {

@@ -45,6 +45,73 @@ pub const NIL: u64 = u64::MAX;
 pub type SlotId = usize;
 
 // ---------------------------------------------------------------------------
+// Mark-capable link-word encodings (shared helpers)
+// ---------------------------------------------------------------------------
+//
+// Two encodings cover the five schemes:
+//
+// * **bare + flag** (unprotected, hazard, epoch): index in the low 32 bits
+//   (`0xFFFF_FFFF` = nil), the deleted mark in bit 32.  The legacy bare nil
+//   `u64::MAX` (a fresh arena link, or a `store_link(NIL)`) still decodes as
+//   an unmarked nil, so mark-capable and bare consumers can share an arena.
+// * **counted + flag** (tagged, LL/SC links): a [`TagWord`] whose value
+//   field holds the index (`u32::MAX` = nil) and whose tag field keeps a
+//   31-bit CAS counter with the deleted mark in the tag's top bit — marking
+//   a node is itself a tag bump, so a stale CAS can neither miss the mark
+//   nor resurrect a recycled link.
+
+/// Deleted-mark flag of the bare mark-capable encoding.
+const BARE_MARK_BIT: u64 = 1 << 32;
+/// Index mask / in-band nil of the bare mark-capable encoding.
+const BARE_IDX_MASK: u64 = 0xFFFF_FFFF;
+/// Deleted-mark flag inside the tag field of the counted encoding.
+const TAG_MARK_BIT: u32 = 1 << 31;
+
+pub(crate) fn bare_mark_encode(idx: u64, marked: bool) -> u64 {
+    let base = if idx == NIL { BARE_IDX_MASK } else { idx };
+    base | if marked { BARE_MARK_BIT } else { 0 }
+}
+
+pub(crate) fn bare_mark_index(raw: u64) -> u64 {
+    let low = raw & BARE_IDX_MASK;
+    if low == BARE_IDX_MASK {
+        NIL
+    } else {
+        low
+    }
+}
+
+pub(crate) fn bare_mark_of(raw: u64) -> bool {
+    raw != NIL && raw & BARE_MARK_BIT != 0
+}
+
+fn counted_mark_encode(old_raw: u64, idx: u64, marked: bool) -> u64 {
+    let old = TagWord::unpack(old_raw);
+    let tag = (old.tag.wrapping_add(1) & !TAG_MARK_BIT) | if marked { TAG_MARK_BIT } else { 0 };
+    TagWord {
+        value: tag_encode(idx),
+        tag,
+    }
+    .pack()
+}
+
+fn counted_mark_index(raw: u64) -> u64 {
+    let value = TagWord::unpack(raw).value;
+    if value == TAG_IDX_NIL {
+        NIL
+    } else {
+        value as u64
+    }
+}
+
+fn counted_mark_of(raw: u64) -> bool {
+    // A fresh arena link holds the legacy bare nil `u64::MAX`, whose tag
+    // field would read as "marked"; it decodes as an unmarked nil instead
+    // (the in-band collision costs one word of the 31-bit counter space).
+    raw != NIL && TagWord::unpack(raw).tag & TAG_MARK_BIT != 0
+}
+
+// ---------------------------------------------------------------------------
 // The trait pair
 // ---------------------------------------------------------------------------
 
@@ -88,6 +155,9 @@ pub trait Reclaimer: Send + Sync + 'static {
 
     /// Display name for the MS-queue instantiation.
     fn queue_label(&self) -> &'static str;
+
+    /// Display name for the Harris–Michael ordered-set instantiation.
+    fn set_label(&self) -> &'static str;
 
     /// Number of nodes retired but not yet handed back to the allocator —
     /// the scheme's *space overhead*, the paper's second axis.  Always 0 for
@@ -135,6 +205,14 @@ pub trait Guard: Send {
     /// stale and the caller must retry before trusting the protection.
     fn protect_link(&mut self, lane: usize, idx: u64, slot: SlotId, raw: u64) -> bool;
 
+    /// [`Guard::protect_link`] re-anchored on a *link word* instead of a
+    /// slot: extend protection in `lane` to node `idx` (read out of `link`),
+    /// then confirm `link` still holds `raw`.  This is the hand-over-hand
+    /// step of a chain traversal (Harris–Michael set): `link` belongs to a
+    /// node that is itself still protected, so if it still designates `idx`,
+    /// the new protection was published while `idx` was reachable.
+    fn protect_link_word(&mut self, lane: usize, idx: u64, link: &AtomicU64, raw: u64) -> bool;
+
     /// Load a link word (a node's next field).
     fn load_link(&self, link: &AtomicU64) -> u64;
 
@@ -148,8 +226,42 @@ pub trait Guard: Send {
     /// CAS a link word from the observed `raw` to a word designating `idx`.
     fn cas_link(&self, link: &AtomicU64, raw: u64, idx: u64) -> bool;
 
+    /// Whether `link` still holds `raw` — the `*prev == cur` re-validation
+    /// of a Harris–Michael traversal.  Unlike [`Guard::protect_link_word`]
+    /// this publishes nothing.
+    fn validate_link(&self, link: &AtomicU64, raw: u64) -> bool {
+        self.load_link(link) == raw
+    }
+
     /// The node a raw word designates ([`NIL`] if none).
     fn index_of(&self, raw: u64) -> u64;
+
+    // -- mark-capable link words (Harris–Michael logical deletion) ---------
+    //
+    // Ordered-set links fold a "logically deleted" mark bit into the link
+    // word, so that one CAS atomically verifies the successor *and* the
+    // deletion status.  The mark encoding is scheme-specific (see each
+    // implementation and DESIGN.md §7); a link word is mark-capable only if
+    // every write to it went through `store_link_mark`/`cas_link_mark`, and
+    // its index field must then be decoded with `marked_index_of` (legacy
+    // bare/`store_link` words may place [`NIL`] where a mark-capable decoder
+    // expects a flag).
+
+    /// Store a mark-capable link word designating `idx` with the given
+    /// deleted mark.  Only legal on a node the calling thread owns; like
+    /// [`Guard::store_link`], tagging schemes preserve — and bump — the
+    /// link's tag here.
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool);
+
+    /// CAS a mark-capable link word from the observed `raw` to a word
+    /// designating `idx` carrying `marked`.
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool;
+
+    /// The index field of a mark-capable link word ([`NIL`] if none).
+    fn marked_index_of(&self, raw: u64) -> u64;
+
+    /// The logical-deletion mark of a mark-capable link word.
+    fn mark_of(&self, raw: u64) -> bool;
 
     /// Hand over a node unlinked by a successful [`Guard::cas`].  Releases
     /// this operation's protections, then frees the node through `free` —
@@ -205,6 +317,10 @@ impl Reclaimer for NoReclaim {
         "MS queue (unprotected)"
     }
 
+    fn set_label(&self) -> &'static str {
+        "HM set (unprotected)"
+    }
+
     fn retry_bound(&self, capacity: usize) -> Option<usize> {
         // An ABA can link the queue into a cycle, after which the standard
         // unbounded retry loops spin forever; bail out after a generous
@@ -242,6 +358,10 @@ impl Guard for NoGuard<'_> {
         self.slots[slot].load(Ordering::SeqCst) == raw
     }
 
+    fn protect_link_word(&mut self, _lane: usize, _idx: u64, link: &AtomicU64, raw: u64) -> bool {
+        link.load(Ordering::SeqCst) == raw
+    }
+
     fn load_link(&self, link: &AtomicU64) -> u64 {
         link.load(Ordering::SeqCst)
     }
@@ -257,6 +377,28 @@ impl Guard for NoGuard<'_> {
 
     fn index_of(&self, raw: u64) -> u64 {
         raw
+    }
+
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool) {
+        link.store(bare_mark_encode(idx, marked), Ordering::SeqCst);
+    }
+
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool {
+        link.compare_exchange(
+            raw,
+            bare_mark_encode(idx, marked),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn marked_index_of(&self, raw: u64) -> u64 {
+        bare_mark_index(raw)
+    }
+
+    fn mark_of(&self, raw: u64) -> bool {
+        bare_mark_of(raw)
     }
 
     fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
@@ -327,6 +469,10 @@ impl Reclaimer for TagReclaim {
     fn queue_label(&self) -> &'static str {
         "MS queue (tagged)"
     }
+
+    fn set_label(&self) -> &'static str {
+        "HM set (tagged links)"
+    }
 }
 
 /// Guard of [`TagReclaim`]: packed-word loads, tag-bumping CASes.
@@ -369,6 +515,10 @@ impl Guard for TagGuard<'_> {
         self.slots[slot].load(Ordering::SeqCst) == raw
     }
 
+    fn protect_link_word(&mut self, _lane: usize, _idx: u64, link: &AtomicU64, raw: u64) -> bool {
+        link.load(Ordering::SeqCst) == raw
+    }
+
     fn load_link(&self, link: &AtomicU64) -> u64 {
         link.load(Ordering::SeqCst)
     }
@@ -399,6 +549,29 @@ impl Guard for TagGuard<'_> {
         } else {
             idx as u64
         }
+    }
+
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool) {
+        let old = link.load(Ordering::SeqCst);
+        link.store(counted_mark_encode(old, idx, marked), Ordering::SeqCst);
+    }
+
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool {
+        link.compare_exchange(
+            raw,
+            counted_mark_encode(raw, idx, marked),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn marked_index_of(&self, raw: u64) -> u64 {
+        counted_mark_index(raw)
+    }
+
+    fn mark_of(&self, raw: u64) -> bool {
+        counted_mark_of(raw)
     }
 
     fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
@@ -464,6 +637,10 @@ impl Reclaimer for HazardReclaim {
 
     fn queue_label(&self) -> &'static str {
         "MS queue (hazard pointers)"
+    }
+
+    fn set_label(&self) -> &'static str {
+        "HM set (hazard pointers)"
     }
 
     fn unreclaimed(&self) -> u64 {
@@ -536,6 +713,19 @@ impl Guard for HazardGuard<'_> {
         self.slots[slot].load(Ordering::SeqCst) == raw
     }
 
+    fn protect_link_word(&mut self, lane: usize, idx: u64, link: &AtomicU64, raw: u64) -> bool {
+        // Hand-over-hand: publish the hazard for the successor FIRST, then
+        // re-read the (still-protected) predecessor's link.  If the link
+        // still designates `idx`, the node was reachable — and therefore not
+        // yet past a hazard scan — at some instant after the hazard became
+        // visible.  Swapping these two steps opens the classic window: a
+        // validate-then-publish traversal can protect a node that was
+        // retired and scanned between the two, and then dereference it after
+        // recycling (the `hazard_traversal` integration test pins this).
+        self.lanes[lane].protect(idx);
+        link.load(Ordering::SeqCst) == raw
+    }
+
     fn load_link(&self, link: &AtomicU64) -> u64 {
         link.load(Ordering::SeqCst)
     }
@@ -551,6 +741,28 @@ impl Guard for HazardGuard<'_> {
 
     fn index_of(&self, raw: u64) -> u64 {
         raw
+    }
+
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool) {
+        link.store(bare_mark_encode(idx, marked), Ordering::SeqCst);
+    }
+
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool {
+        link.compare_exchange(
+            raw,
+            bare_mark_encode(idx, marked),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn marked_index_of(&self, raw: u64) -> u64 {
+        bare_mark_index(raw)
+    }
+
+    fn mark_of(&self, raw: u64) -> bool {
+        bare_mark_of(raw)
     }
 
     fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
@@ -639,6 +851,13 @@ impl Reclaimer for LlScReclaim {
     fn queue_label(&self) -> &'static str {
         "MS queue (LL/SC head+tail)"
     }
+
+    fn set_label(&self) -> &'static str {
+        // Only registered *slots* are LL/SC objects; a set's deep links are
+        // arena words, so they carry the counted mark encoding instead (see
+        // the mark-capable link methods below and DESIGN.md §7).
+        "HM set (LL/SC head, counted links)"
+    }
 }
 
 /// Guard of [`LlScReclaim`]: one persistent [`AnnounceLlScHandle`] per slot
@@ -673,6 +892,13 @@ impl Guard for LlScGuard<'_> {
         self.handles[slot].vl()
     }
 
+    fn protect_link_word(&mut self, _lane: usize, _idx: u64, link: &AtomicU64, raw: u64) -> bool {
+        // Deep links are not LL/SC objects; their protection is the counted
+        // mark encoding (a stale CAS fails on the bumped tag), so advancing
+        // only needs the snapshot re-validated.
+        link.load(Ordering::SeqCst) == raw
+    }
+
     fn load_link(&self, link: &AtomicU64) -> u64 {
         link.load(Ordering::SeqCst)
     }
@@ -692,6 +918,29 @@ impl Guard for LlScGuard<'_> {
         } else {
             raw
         }
+    }
+
+    fn store_link_mark(&self, link: &AtomicU64, idx: u64, marked: bool) {
+        let old = link.load(Ordering::SeqCst);
+        link.store(counted_mark_encode(old, idx, marked), Ordering::SeqCst);
+    }
+
+    fn cas_link_mark(&self, link: &AtomicU64, raw: u64, idx: u64, marked: bool) -> bool {
+        link.compare_exchange(
+            raw,
+            counted_mark_encode(raw, idx, marked),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    }
+
+    fn marked_index_of(&self, raw: u64) -> u64 {
+        counted_mark_index(raw)
+    }
+
+    fn mark_of(&self, raw: u64) -> bool {
+        counted_mark_of(raw)
     }
 
     fn retire(&mut self, idx: u64, mut free: impl FnMut(u64)) {
@@ -843,34 +1092,91 @@ mod tests {
 
     #[test]
     fn labels_and_schemes_are_distinct() {
-        let labels: Vec<(&str, &str, &str)> = vec![
-            {
-                let r = NoReclaim::new(1, 1);
-                (r.scheme(), r.stack_label(), r.queue_label())
-            },
-            {
-                let r = TagReclaim::new(1, 1);
-                (r.scheme(), r.stack_label(), r.queue_label())
-            },
-            {
-                let r = HazardReclaim::new(1, 1);
-                (r.scheme(), r.stack_label(), r.queue_label())
-            },
-            {
-                let r = EpochReclaim::new(1, 1);
-                (r.scheme(), r.stack_label(), r.queue_label())
-            },
-            {
-                let r = LlScReclaim::new(1, 1);
-                (r.scheme(), r.stack_label(), r.queue_label())
-            },
+        fn row<R: Reclaimer>() -> [&'static str; 4] {
+            let r = R::new(1, 1);
+            [r.scheme(), r.stack_label(), r.queue_label(), r.set_label()]
+        }
+        let labels = [
+            row::<NoReclaim>(),
+            row::<TagReclaim>(),
+            row::<HazardReclaim>(),
+            row::<EpochReclaim>(),
+            row::<LlScReclaim>(),
         ];
-        for proj in 0..3 {
-            let mut one: Vec<&str> = labels.iter().map(|&(s, st, q)| [s, st, q][proj]).collect();
+        for proj in 0..4 {
+            let mut one: Vec<&str> = labels.iter().map(|row| row[proj]).collect();
             one.sort_unstable();
             one.dedup();
             assert_eq!(one.len(), 5, "projection {proj} must be distinct");
         }
+    }
+
+    fn mark_roundtrip<R: Reclaimer>() {
+        let r = R::new(1, 1);
+        let g = r.guard(0, 8);
+        let link = AtomicU64::new(NIL); // a fresh arena link: legacy bare nil
+        assert_eq!(g.marked_index_of(g.load_link(&link)), NIL);
+        assert!(
+            !g.mark_of(g.load_link(&link)),
+            "{}: a fresh link must decode unmarked",
+            r.scheme()
+        );
+        g.store_link_mark(&link, 5, false);
+        let raw = g.load_link(&link);
+        assert_eq!(g.marked_index_of(raw), 5);
+        assert!(!g.mark_of(raw));
+        // Logical deletion: same successor, mark set, one CAS.
+        assert!(g.cas_link_mark(&link, raw, 5, true));
+        let marked = g.load_link(&link);
+        assert_eq!(
+            g.marked_index_of(marked),
+            5,
+            "mark must not disturb the index"
+        );
+        assert!(g.mark_of(marked));
+        assert!(
+            !g.cas_link_mark(&link, raw, 7, false),
+            "{}: a stale CAS must fail once the link is marked",
+            r.scheme()
+        );
+        // Marked nil (deleted last node) is representable too.
+        assert!(g.cas_link_mark(&link, marked, NIL, true));
+        let tail = g.load_link(&link);
+        assert_eq!(g.marked_index_of(tail), NIL);
+        assert!(g.mark_of(tail));
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_marked_links() {
+        mark_roundtrip::<NoReclaim>();
+        mark_roundtrip::<TagReclaim>();
+        mark_roundtrip::<HazardReclaim>();
+        mark_roundtrip::<EpochReclaim>();
+        mark_roundtrip::<LlScReclaim>();
+    }
+
+    #[test]
+    fn counted_marks_survive_a_recycled_link_word() {
+        // The set-flavoured ABA on a link: observe (idx 3, unmarked), let the
+        // word move away and back to index 3; under the counted encoding the
+        // stale CAS fails (tag moved on), under the bare encoding it succeeds.
+        fn recycle<R: Reclaimer>(expect_protected: bool) {
+            let r = R::new(1, 1);
+            let g = r.guard(0, 8);
+            let link = AtomicU64::new(NIL);
+            g.store_link_mark(&link, 3, false);
+            let stale = g.load_link(&link);
+            let raw = g.load_link(&link);
+            assert!(g.cas_link_mark(&link, raw, 7, false));
+            let raw = g.load_link(&link);
+            assert!(g.cas_link_mark(&link, raw, 3, false)); // A-B-A on the index
+            assert_eq!(g.marked_index_of(g.load_link(&link)), 3);
+            let fooled = g.cas_link_mark(&link, stale, 9, false);
+            assert_eq!(fooled, !expect_protected, "{}", r.scheme());
+        }
+        recycle::<TagReclaim>(true);
+        recycle::<LlScReclaim>(true);
+        recycle::<NoReclaim>(false);
     }
 
     #[test]

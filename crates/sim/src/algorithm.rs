@@ -33,6 +33,12 @@ pub enum MethodCall {
     Enqueue(Word),
     /// `Dequeue()` on a simulated FIFO queue.
     Dequeue,
+    /// `Insert(k)` on a simulated ordered set.
+    Insert(Word),
+    /// `Remove(k)` on a simulated ordered set.
+    Remove(Word),
+    /// `Contains(k)` on a simulated ordered set.
+    Contains(Word),
 }
 
 /// The response of a completed method call.
@@ -52,6 +58,13 @@ pub enum MethodResponse {
     EnqueueResult(bool),
     /// `Dequeue` returned the oldest value, if any.
     DequeueResult(Option<Word>),
+    /// `Insert` returned whether the key was linked (`false` = already
+    /// present or arena full).
+    InsertResult(bool),
+    /// `Remove` returned whether the key was found and unlinked.
+    RemoveResult(bool),
+    /// `Contains` returned its membership answer.
+    ContainsResult(bool),
 }
 
 /// An algorithm (implementation of an ABA-detecting register or LL/SC/VL

@@ -9,10 +9,14 @@
 //!   whose schedules the ABA-witness search controls;
 //! * [`epoch`] — the epoch-reclaimed MS queue (pin/advance/limbo as
 //!   explicit shared-memory steps), the simulator counterpart of
-//!   `aba_reclaim::EpochReclaim`.
+//!   `aba_reclaim::EpochReclaim`;
+//! * [`set`] — step-level Harris–Michael ordered sets in four protection
+//!   modes (unprotected, tagged, hazard, epoch), the traversal-based ABA
+//!   surface.
 
 pub mod baselines;
 pub mod epoch;
 pub mod fig3;
 pub mod fig4;
 pub mod queue;
+pub mod set;

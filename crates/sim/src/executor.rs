@@ -261,6 +261,15 @@ impl Simulation {
             (MethodCall::Dequeue, MethodResponse::DequeueResult(value)) => {
                 OpKind::Dequeue { value }
             }
+            (MethodCall::Insert(key), MethodResponse::InsertResult(ok)) => {
+                OpKind::Insert { key, ok }
+            }
+            (MethodCall::Remove(key), MethodResponse::RemoveResult(ok)) => {
+                OpKind::Remove { key, ok }
+            }
+            (MethodCall::Contains(key), MethodResponse::ContainsResult(found)) => {
+                OpKind::Contains { key, found }
+            }
             (call, response) => panic!("mismatched call/response pair: {call:?} / {response:?}"),
         };
         self.history.push(OpRecord {

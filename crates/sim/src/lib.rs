@@ -46,8 +46,9 @@ pub mod schedule;
 pub use algorithm::{MethodCall, MethodResponse, SimAlgorithm, SimProcess};
 pub use executor::{Simulation, StepOutcome};
 pub use explore::{
-    measure_llsc_worst_case, measure_register_worst_case, run_queue_workload,
-    run_register_workload, search_queue_violation, search_weak_violation, QueueViolationWitness,
-    QueueWorkloadOutcome, StepStats, ViolationWitness,
+    measure_llsc_worst_case, measure_register_worst_case, minimize_violation_schedule,
+    run_queue_workload, run_register_workload, run_set_workload, search_queue_violation,
+    search_set_violation, search_weak_violation, QueueViolationWitness, QueueWorkloadOutcome,
+    SetViolationWitness, StepStats, ViolationWitness, SET_SEARCH_ROUNDS,
 };
 pub use object::{BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepResult};

@@ -62,6 +62,30 @@ pub enum OpKind {
         /// Dequeued value, if any.
         value: Option<Word>,
     },
+    /// `Insert(k)` on an ordered set, with whether a node was actually
+    /// linked (`ok == false` covers both "key already present" and an
+    /// arena-exhausted attempt; either way the abstract set is untouched).
+    Insert {
+        /// Inserted key.
+        key: Word,
+        /// Whether the insert took effect.
+        ok: bool,
+    },
+    /// `Remove(k)` on an ordered set, with whether the key was found (and
+    /// therefore removed).
+    Remove {
+        /// Removed key.
+        key: Word,
+        /// Whether the remove took effect.
+        ok: bool,
+    },
+    /// `Contains(k)` on an ordered set, with its observed answer.
+    Contains {
+        /// Probed key.
+        key: Word,
+        /// Whether the key was reported a member.
+        found: bool,
+    },
 }
 
 impl OpKind {
@@ -74,6 +98,8 @@ impl OpKind {
                 | OpKind::Sc { success: true, .. }
                 | OpKind::Enqueue { ok: true, .. }
                 | OpKind::Dequeue { value: Some(_) }
+                | OpKind::Insert { ok: true, .. }
+                | OpKind::Remove { ok: true, .. }
         )
     }
 }
@@ -89,6 +115,9 @@ impl fmt::Display for OpKind {
             OpKind::Enqueue { value, ok } => write!(f, "Enqueue({value}) -> {ok}"),
             OpKind::Dequeue { value: Some(v) } => write!(f, "Dequeue() -> {v}"),
             OpKind::Dequeue { value: None } => write!(f, "Dequeue() -> empty"),
+            OpKind::Insert { key, ok } => write!(f, "Insert({key}) -> {ok}"),
+            OpKind::Remove { key, ok } => write!(f, "Remove({key}) -> {ok}"),
+            OpKind::Contains { key, found } => write!(f, "Contains({key}) -> {found}"),
         }
     }
 }
@@ -373,6 +402,37 @@ mod tests {
         assert_eq!(
             format!("{}", OpKind::Dequeue { value: None }),
             "Dequeue() -> empty"
+        );
+    }
+
+    #[test]
+    fn set_op_classification_and_display() {
+        assert!(OpKind::Insert { key: 1, ok: true }.is_mutator());
+        assert!(!OpKind::Insert { key: 1, ok: false }.is_mutator());
+        assert!(OpKind::Remove { key: 1, ok: true }.is_mutator());
+        assert!(!OpKind::Remove { key: 1, ok: false }.is_mutator());
+        assert!(!OpKind::Contains {
+            key: 1,
+            found: true
+        }
+        .is_mutator());
+        assert_eq!(
+            format!("{}", OpKind::Insert { key: 7, ok: true }),
+            "Insert(7) -> true"
+        );
+        assert_eq!(
+            format!("{}", OpKind::Remove { key: 7, ok: false }),
+            "Remove(7) -> false"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                OpKind::Contains {
+                    key: 7,
+                    found: true
+                }
+            ),
+            "Contains(7) -> true"
         );
     }
 

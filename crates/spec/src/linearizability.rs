@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use std::hash::Hash;
 
 use crate::history::{History, OpKind};
-use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc};
+use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc, SeqOrderedSet};
 use crate::{ProcessId, Word};
 
 /// Maximum history length the exhaustive checker accepts.
@@ -85,6 +85,31 @@ impl CheckerSpec for QueueSpecState {
                 true
             }
             OpKind::Dequeue { value } => self.0.dequeue() == value,
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SetSpecState(SeqOrderedSet);
+
+impl CheckerSpec for SetSpecState {
+    fn apply(&mut self, _pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::Insert { key, ok } => {
+                if ok {
+                    // A successful insert requires the key absent here.
+                    self.0.insert(key)
+                } else {
+                    // A failed insert is a no-op on the abstract set and is
+                    // always admissible: it covers both "already present"
+                    // and "arena exhausted" (the checker cannot tell them
+                    // apart, so it must not reject either).
+                    true
+                }
+            }
+            OpKind::Remove { key, ok } => self.0.remove(key) == ok,
+            OpKind::Contains { key, found } => self.0.contains(key) == found,
             _ => false,
         }
     }
@@ -163,6 +188,31 @@ pub fn check_queue_history(history: &History) -> LinCheckOutcome {
         );
     }
     check_generic(history, QueueSpecState(SeqFifoQueue::new()))
+}
+
+/// Check a history of `Insert`/`Remove`/`Contains` operations against the
+/// ordered-set specification (initially empty).
+///
+/// A non-linearizable outcome is exactly what an ABA on a Harris–Michael
+/// traversal produces: an inserted key that a later `Contains` cannot see
+/// (the lost splice), a key removed twice, or a remove that succeeds on a
+/// key no linearization order makes present.
+///
+/// # Panics
+///
+/// Panics if the history contains non-set operations.
+pub fn check_set_history(history: &History) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(
+                op.kind,
+                OpKind::Insert { .. } | OpKind::Remove { .. } | OpKind::Contains { .. }
+            ),
+            "check_set_history given a non-set operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, SetSpecState(SeqOrderedSet::new()))
 }
 
 fn check_generic<S: CheckerSpec>(history: &History, initial: S) -> LinCheckOutcome {
@@ -519,6 +569,120 @@ mod tests {
             rec(1, OpKind::Dequeue { value: None }, 2, 3),
         ]);
         assert!(check_queue_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_set_history_is_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Insert { key: 5, ok: true }, 0, 1),
+            rec(0, OpKind::Insert { key: 5, ok: false }, 2, 3),
+            rec(
+                1,
+                OpKind::Contains {
+                    key: 5,
+                    found: true,
+                },
+                4,
+                5,
+            ),
+            rec(1, OpKind::Remove { key: 5, ok: true }, 6, 7),
+            rec(1, OpKind::Remove { key: 5, ok: false }, 8, 9),
+            rec(
+                0,
+                OpKind::Contains {
+                    key: 5,
+                    found: false,
+                },
+                10,
+                11,
+            ),
+        ]);
+        assert!(check_set_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn lost_insert_is_not_linearizable() {
+        // The Harris–Michael ABA damage signature: a completed insert whose
+        // key a later contains cannot see, with no remove in between.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Insert { key: 5, ok: true }, 0, 1),
+            rec(
+                1,
+                OpKind::Contains {
+                    key: 5,
+                    found: false,
+                },
+                2,
+                3,
+            ),
+        ]);
+        assert_eq!(check_set_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn doubly_removed_key_is_not_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Insert { key: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Remove { key: 5, ok: true }, 2, 3),
+            rec(2, OpKind::Remove { key: 5, ok: true }, 4, 5),
+        ]);
+        assert_eq!(check_set_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn resurrected_key_is_not_linearizable() {
+        // Removed, never re-inserted, yet observed again: a lost unlink.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Insert { key: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Remove { key: 5, ok: true }, 2, 3),
+            rec(
+                2,
+                OpKind::Contains {
+                    key: 5,
+                    found: true,
+                },
+                4,
+                5,
+            ),
+        ]);
+        assert_eq!(check_set_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_insert_and_contains_allow_either_answer() {
+        for found in [false, true] {
+            let h = History::from_ops(vec![
+                rec(0, OpKind::Insert { key: 5, ok: true }, 0, 10),
+                rec(1, OpKind::Contains { key: 5, found }, 1, 2),
+            ]);
+            assert!(check_set_history(&h).is_linearizable(), "{found}");
+        }
+    }
+
+    #[test]
+    fn failed_insert_linearizes_as_a_no_op() {
+        // `ok == false` covers an arena-exhausted attempt: it must be
+        // admissible even where the key is provably absent.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Insert { key: 9, ok: false }, 0, 1),
+            rec(
+                1,
+                OpKind::Contains {
+                    key: 9,
+                    found: false,
+                },
+                2,
+                3,
+            ),
+        ]);
+        assert!(check_set_history(&h).is_linearizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-set operation")]
+    fn set_checker_rejects_queue_ops() {
+        let h = History::from_ops(vec![rec(0, OpKind::Dequeue { value: None }, 0, 1)]);
+        let _ = check_set_history(&h);
     }
 
     #[test]

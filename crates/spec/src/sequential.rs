@@ -1,12 +1,13 @@
 //! Sequential specifications of the paper's two object types, plus the FIFO
-//! queue the E8 lock-free structures must linearize to.
+//! queue the E8 lock-free structures must linearize to and the ordered set
+//! the E10 structures must linearize to.
 //!
 //! These are the *abstract* objects that the concurrent implementations must
 //! linearize to.  They are deliberately tiny and obviously correct; the
 //! linearizability checker replays candidate linearizations against them, and
 //! the property tests in this crate exercise their invariants directly.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::{ProcessId, Word};
 
@@ -193,6 +194,56 @@ impl SeqFifoQueue {
     }
 }
 
+/// Sequential specification of an ordered set of keys.
+///
+/// State: the member keys.  The concurrent Harris–Michael set variants in
+/// `aba-lockfree` and the step-level state machines in `aba-sim` must
+/// linearize to this; an insert that fails because the backing arena is
+/// exhausted is a no-op on the abstract state (like a failed enqueue), so
+/// the specification itself carries no capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SeqOrderedSet {
+    keys: BTreeSet<Word>,
+}
+
+impl SeqOrderedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of member keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Apply an `Insert(k)`; `false` iff the key was already present.
+    pub fn insert(&mut self, key: Word) -> bool {
+        self.keys.insert(key)
+    }
+
+    /// Apply a `Remove(k)`; `false` iff the key was absent.
+    pub fn remove(&mut self, key: Word) -> bool {
+        self.keys.remove(&key)
+    }
+
+    /// Apply a `Contains(k)`.
+    pub fn contains(&self, key: Word) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// The member keys in ascending order (the order a correct chain
+    /// traversal observes).
+    pub fn keys(&self) -> impl Iterator<Item = Word> + '_ {
+        self.keys.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +264,24 @@ mod tests {
         assert_eq!(q.dequeue(), Some(3));
         assert_eq!(q.dequeue(), Some(4));
         assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn ordered_set_membership_and_order() {
+        let mut s = SeqOrderedSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(3));
+        assert!(!s.remove(3));
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(s.insert(7));
+        assert!(!s.insert(3), "duplicate insert must fail");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(1) && s.contains(3) && s.contains(7));
+        assert_eq!(s.keys().collect::<Vec<_>>(), vec![1, 3, 7]);
+        assert!(s.remove(3));
+        assert!(!s.remove(3), "double remove must fail");
+        assert_eq!(s.keys().collect::<Vec<_>>(), vec![1, 7]);
     }
 
     #[test]

@@ -8,15 +8,18 @@
 //! instance for every measurement cell, so that repetitions never observe
 //! each other's state.
 //!
-//! [`standard_backends`] is the roster the E7/E8/E9 experiments sweep: every
-//! `LlScObject` implementation in `aba-core` (Figure 3's single-CAS object,
-//! the announce-array object, and Moir's construction at three tag widths)
-//! plus every Treiber-stack variant and every MS-queue variant in
-//! `aba-lockfree` — one per `aba-reclaim` scheme (unprotected, tagged,
-//! hazard-protected, epoch-reclaimed and LL/SC-worded), 15 backends total.
+//! [`standard_backends`] is the roster the E7/E8/E9/E10 experiments sweep:
+//! every `LlScObject` implementation in `aba-core` (Figure 3's single-CAS
+//! object, the announce-array object, and Moir's construction at three tag
+//! widths) plus every Treiber-stack, MS-queue and Harris–Michael-set variant
+//! in `aba-lockfree` — one per `aba-reclaim` scheme (unprotected, tagged,
+//! hazard-protected, epoch-reclaimed and LL/SC-worded), 20 backends total.
 
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
-use aba_lockfree::{queue_builders, stack_builders, Queue, QueueHandle, Stack, StackHandle};
+use aba_lockfree::{
+    queue_builders, set_builders, stack_builders, Queue, QueueHandle, Set, SetHandle, Stack,
+    StackHandle,
+};
 use aba_spec::{LlScHandle, LlScObject};
 
 /// A shared object adapted to the scenario vocabulary, sized for a fixed
@@ -272,6 +275,80 @@ impl WorkloadOps for QueueOps<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Set adapter
+// ---------------------------------------------------------------------------
+
+/// How many distinct keys the set adapter folds scenario values onto.
+/// Matches the key-space scenarios' 64-key range plus the cold offset, so
+/// chains stay a few dozen nodes deep and every scenario value lands on a
+/// valid key.
+const SET_KEY_SPACE: u32 = 128;
+
+/// [`Workload`] over any Harris–Michael set variant.
+pub struct SetWorkload {
+    set: Box<dyn Set>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SetWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetWorkload")
+            .field("name", &self.set.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl SetWorkload {
+    /// Wrap `set` for use by `threads` threads.
+    pub fn new(set: Box<dyn Set>, threads: usize) -> Self {
+        SetWorkload { set, threads }
+    }
+}
+
+impl Workload for SetWorkload {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        Box::new(SetOps {
+            handle: self.set.handle(tid),
+            probe: tid as u32,
+        })
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.set.unreclaimed()
+    }
+}
+
+struct SetOps<'a> {
+    handle: Box<dyn SetHandle + 'a>,
+    /// Rolling probe key for value-less reads; the odd stride walks the
+    /// whole key space.
+    probe: u32,
+}
+
+impl WorkloadOps for SetOps<'_> {
+    fn read(&mut self) {
+        self.probe = self.probe.wrapping_add(13) % SET_KEY_SPACE;
+        std::hint::black_box(self.handle.contains(self.probe));
+    }
+
+    fn write(&mut self, value: u32) {
+        std::hint::black_box(self.handle.insert(value % SET_KEY_SPACE));
+    }
+
+    fn rmw(&mut self, value: u32) {
+        // The membership round trip: retract the key a `write` of the same
+        // scenario value published (key-space scenarios pair them up).
+        std::hint::black_box(self.handle.remove(value % SET_KEY_SPACE));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -360,6 +437,11 @@ pub fn standard_backends() -> Vec<BackendSpec> {
             Box::new(QueueWorkload::new(builder(stack_capacity(t), t), t))
         }));
     }
+    for (name, builder) in set_builders() {
+        specs.push(BackendSpec::new(name, move |t| {
+            Box::new(SetWorkload::new(builder(stack_capacity(t), t), t))
+        }));
+    }
     specs
 }
 
@@ -368,23 +450,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_fifteen_distinct_backends() {
+    fn roster_has_twenty_distinct_backends() {
         let specs = standard_backends();
-        assert_eq!(specs.len(), 15);
+        assert_eq!(specs.len(), 20);
         let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15);
-        // Both structure families are present, one backend per scheme.
-        let queues = specs
-            .iter()
-            .filter(|s| s.name().starts_with("queue/"))
-            .count();
-        let stacks = specs
-            .iter()
-            .filter(|s| s.name().starts_with("stack/"))
-            .count();
-        assert_eq!((queues, stacks), (5, 5));
+        assert_eq!(names.len(), 20);
+        // All three structure families are present, one backend per scheme.
+        for family in ["stack/", "queue/", "set/"] {
+            let count = specs
+                .iter()
+                .filter(|s| s.name().starts_with(family))
+                .count();
+            assert_eq!(count, 5, "{family}");
+        }
     }
 
     #[test]
@@ -392,12 +472,18 @@ mod tests {
         for spec in standard_backends() {
             let wants_limbo = matches!(
                 spec.name(),
-                "stack/hazard" | "stack/epoch" | "queue/hazard" | "queue/epoch"
+                "stack/hazard"
+                    | "stack/epoch"
+                    | "queue/hazard"
+                    | "queue/epoch"
+                    | "set/hazard"
+                    | "set/epoch"
             );
             let w = spec.build(1);
             let mut ops = w.worker(0);
             ops.write(5);
             ops.read(); // pop/dequeue: retires a node under deferred schemes
+            ops.rmw(5); // set remove: the retiring op of the set adapter
             if wants_limbo {
                 assert!(
                     w.unreclaimed() > 0,
@@ -407,6 +493,25 @@ mod tests {
             } else {
                 assert_eq!(w.unreclaimed(), 0, "{}", spec.name());
             }
+        }
+    }
+
+    #[test]
+    fn set_adapter_round_trips_membership_through_the_op_vocabulary() {
+        for spec in standard_backends() {
+            if !spec.name().starts_with("set/") {
+                continue;
+            }
+            let w = spec.build(2);
+            let mut ops = w.worker(1);
+            ops.rmw(9); // remove on an empty set: a no-op
+            ops.write(9); // insert 9
+            ops.write(9); // duplicate insert: a no-op
+            ops.read(); // contains(probe)
+            ops.rmw(9); // remove 9
+            ops.rmw(9); // remove again: a no-op
+            ops.write(200); // folds onto key 200 % 128 = 72
+            ops.rmw(200);
         }
     }
 

@@ -1,12 +1,14 @@
 //! # aba-workload
 //!
-//! The multi-threaded workload engine behind experiments E7, E8 and E9: a
+//! The multi-threaded workload engine behind experiments E7–E10: a
 //! deterministic [scenario](scenario::Scenario) registry (six symmetric
-//! traffic shapes plus the role-asymmetric `producer-consumer` and
-//! `pipeline`) crossed with a [backend](backend::BackendSpec) matrix over
-//! every `LlScObject` implementation and every Treiber-stack and MS-queue
-//! variant — one per `aba-reclaim` protection scheme, 15 backends — swept
-//! across thread counts by a measurement [engine](engine::run_matrix)
+//! traffic shapes, the role-asymmetric `producer-consumer` and `pipeline`,
+//! and the key-space shapes `uniform-key-churn` and `hot-key-contention`)
+//! crossed with a [backend](backend::BackendSpec) matrix over every
+//! `LlScObject` implementation and every Treiber-stack, MS-queue and
+//! Harris–Michael-set variant — one per `aba-reclaim` protection scheme,
+//! 20 backends — swept across thread counts by a measurement
+//! [engine](engine::run_matrix)
 //! (warmup, median-of-k repetitions, per-thread counters merged after join,
 //! p50/p99 latency sampling with a prime, per-thread-staggered stride, and a
 //! `peak_unreclaimed` space gauge sampled on the same stride), with results
@@ -45,8 +47,8 @@ pub mod report;
 pub mod scenario;
 
 pub use backend::{
-    standard_backends, BackendSpec, LlScWorkload, QueueWorkload, StackWorkload, Workload,
-    WorkloadOps,
+    standard_backends, BackendSpec, LlScWorkload, QueueWorkload, SetWorkload, StackWorkload,
+    Workload, WorkloadOps,
 };
 pub use engine::{run_cell, run_matrix, CellResult, EngineConfig, MatrixResult};
 pub use report::{render_tables, to_json, JSON_SCHEMA};

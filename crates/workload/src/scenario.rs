@@ -49,6 +49,29 @@ enum Kind {
     /// (rmw): a pipeline stage hand-off, where each element keeps flowing
     /// through the structure.
     Pipeline,
+    /// Key-space churn with uniformly spread keys: each thread cycles
+    /// publish / probe / retract (write / read / rmw) over a 64-key space,
+    /// so ordered-set backends keep splicing and unlinking at uniformly
+    /// random chain depths (E10's baseline traffic).
+    UniformKeyChurn,
+    /// Skewed hot-key contention: two thirds of the keyed operations hammer
+    /// four *hot* keys in publish/retract cycles (every thread recycling
+    /// the same few nodes at the same chain positions), the rest spread
+    /// over a cold 64-key range so chains keep non-trivial depth.
+    HotKeyContention,
+}
+
+/// Key-space width of the two key-space scenarios.
+const KEY_SPACE: usize = 64;
+
+/// Hot keys of the skewed scenario.
+const HOT_KEYS: usize = 4;
+
+/// A uniformly spread key for the key-space scenarios: a multiplicative
+/// (odd-stride) walk over `KEY_SPACE`, phase-shifted per thread so threads
+/// collide on keys without marching in lockstep.
+fn uniform_key(tid: usize, i: usize) -> u32 {
+    ((i.wrapping_mul(29) + tid.wrapping_mul(17)) % KEY_SPACE) as u32
 }
 
 /// A named, deterministic traffic shape.
@@ -113,6 +136,30 @@ impl Scenario {
                 }
             }
             Kind::Pipeline => Op::Rmw((i & 0xFF) as u32 + 1),
+            Kind::UniformKeyChurn => {
+                // publish / probe / retract, one key per step, uniform keys.
+                let key = uniform_key(tid, i / 3);
+                match i % 3 {
+                    0 => Op::Write(key),
+                    1 => Op::Read,
+                    _ => Op::Rmw(key),
+                }
+            }
+            Kind::HotKeyContention => {
+                // Two publish/retract cycles per octet on a hot key (the
+                // same few nodes recycle constantly, under every thread at
+                // once), one cycle on a cold key (chains keep depth), two
+                // probes interleaved.
+                let hot = ((i / 8 + tid) % HOT_KEYS) as u32;
+                let cold = HOT_KEYS as u32 + uniform_key(tid, i / 8);
+                match i % 8 {
+                    0 | 4 => Op::Write(hot),
+                    2 | 5 => Op::Rmw(hot),
+                    3 => Op::Write(cold),
+                    7 => Op::Rmw(cold),
+                    _ => Op::Read, // 1 and 6
+                }
+            }
         }
     }
 }
@@ -160,6 +207,16 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             description: "every thread drains one value and re-publishes a transformed one",
             kind: Kind::Pipeline,
         },
+        Scenario {
+            name: "uniform-key-churn",
+            description: "publish/probe/retract cycles over a uniform 64-key space (set churn)",
+            kind: Kind::UniformKeyChurn,
+        },
+        Scenario {
+            name: "hot-key-contention",
+            description: "publish/retract cycles skewed onto 4 hot keys, cold range for depth",
+            kind: Kind::HotKeyContention,
+        },
     ]
 }
 
@@ -168,13 +225,78 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_eight_distinct_scenarios() {
+    fn roster_has_ten_distinct_scenarios() {
         let roster = standard_scenarios();
-        assert_eq!(roster.len(), 8);
+        assert_eq!(roster.len(), 10);
         let mut names: Vec<_> = roster.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn uniform_key_churn_spreads_keys_and_mixes_all_three_ops() {
+        let roster = standard_scenarios();
+        let s = roster
+            .iter()
+            .find(|s| s.name() == "uniform-key-churn")
+            .unwrap();
+        let mut keys = std::collections::HashSet::new();
+        let (mut reads, mut writes, mut rmws) = (0, 0, 0);
+        for tid in 0..4 {
+            for i in 0..600 {
+                match s.op(tid, i) {
+                    Op::Read => reads += 1,
+                    Op::Write(k) => {
+                        writes += 1;
+                        keys.insert(k);
+                    }
+                    Op::Rmw(k) => {
+                        rmws += 1;
+                        keys.insert(k);
+                    }
+                }
+            }
+        }
+        assert_eq!(keys.len(), 64, "the full key space must be visited");
+        assert!(keys.iter().all(|&k| k < 64));
+        // The publish/probe/retract cycle is an even three-way split.
+        assert_eq!((reads, writes, rmws), (800, 800, 800));
+    }
+
+    #[test]
+    fn hot_key_contention_is_skewed() {
+        let roster = standard_scenarios();
+        let s = roster
+            .iter()
+            .find(|s| s.name() == "hot-key-contention")
+            .unwrap();
+        let (mut hot, mut cold, mut reads) = (0usize, 0usize, 0usize);
+        for tid in 0..4 {
+            for i in 0..1000 {
+                match s.op(tid, i) {
+                    Op::Read => reads += 1,
+                    Op::Write(k) | Op::Rmw(k) => {
+                        if k < 4 {
+                            hot += 1;
+                        } else {
+                            cold += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            hot >= 2 * cold,
+            "hot keys must dominate: hot={hot} cold={cold}"
+        );
+        assert!(cold > 0, "the cold range must still be exercised");
+        assert!(reads > 0, "probes must appear in the mix");
+        // Threads genuinely collide: the same (hot) key appears for
+        // different tids at nearby indices.
+        let k0 = (0..8).map(|i| s.op(0, i)).collect::<Vec<_>>();
+        let k1 = (0..8).map(|i| s.op(1, i)).collect::<Vec<_>>();
+        assert_ne!(k0, k1, "phase shift keeps threads out of lockstep");
     }
 
     #[test]

@@ -17,11 +17,11 @@
 //! * [`reclaim`] — the [`Reclaimer`](aba_reclaim::Reclaimer) strategy trait
 //!   unifying every ABA-protection scheme (unprotected, tagged, hazard,
 //!   epoch, LL/SC) behind one guard protocol;
-//! * [`lockfree`] — one generic Treiber stack and one generic Michael–Scott
-//!   queue, instantiated per reclamation scheme, plus the event-signal
-//!   scenario;
+//! * [`lockfree`] — one generic Treiber stack, one generic Michael–Scott
+//!   queue and one generic Harris–Michael ordered set, instantiated per
+//!   reclamation scheme, plus the event-signal scenario;
 //! * [`workload`] — the multi-threaded workload engine (experiments
-//!   E7/E8/E9): scenario × backend × thread-count throughput, latency and
+//!   E7–E10): scenario × backend × thread-count throughput, latency and
 //!   peak-unreclaimed matrix.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
