@@ -76,7 +76,7 @@ fn main() {
             } => (
                 format!(
                     "violated after {trials_used} trials (seed {})",
-                    witness.seed
+                    witness.meta.seed
                 ),
                 format!("{}", witness.violation),
             ),

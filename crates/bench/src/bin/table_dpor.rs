@@ -1,0 +1,248 @@
+//! Experiment E11: exhaustive schedule exploration — turning "no witness
+//! found" into a proof.
+//!
+//! The random searches of E5/E6 sample the schedule space; this table
+//! *enumerates* it, up to Mazurkiewicz-trace equivalence, with the DPOR
+//! explorer (`aba_sim::explore_exhaustive`).  At the documented small bounds
+//! every unprotected variant must deterministically rediscover its ABA
+//! witness, and every protected variant must survive its **complete**
+//! reduced schedule space — a bounded verification result, not a sampling
+//! one.
+//!
+//! Bounds (chosen so the full run drains in well under a minute in release
+//! mode):
+//!
+//! * register: n = 3, 4 ABA-patterned writes, 2 reads per reader;
+//! * queue: n = 3 (2 producers x 2 enqueues, 1 consumer x 3 dequeues),
+//!   arena of 2;
+//! * set: n = 2, 1 insert/contains/remove round each, arena of 3.
+//!
+//! Run with `cargo run -p aba-bench --bin table_dpor --release`.
+//! Flags: `--quick` (caps each exploration at 60k schedules — the hazard
+//! set's ~350k-class space is reported incomplete-but-clean), `--out <path>`
+//! (JSON destination, default `BENCH_dpor.json`, schema `aba-repro/dpor/v1`).
+//!
+//! Exit status is the gate: non-zero if any protected mode yields a witness,
+//! any unprotected mode fails to, or (full mode only) any protected mode
+//! fails to drain its space.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use aba_bench::Table;
+use aba_sim::algorithms::baselines::{NaiveSim, TaggedSim};
+use aba_sim::algorithms::epoch::EpochSim;
+use aba_sim::algorithms::queue::QueueSim;
+use aba_sim::algorithms::set::SetSim;
+use aba_sim::{
+    explore_queue_exhaustive, explore_register_exhaustive, explore_set_exhaustive, DporConfig,
+    ExplorationReport,
+};
+
+/// One explored (family, mode) cell.
+struct Row {
+    family: &'static str,
+    mode: &'static str,
+    protected: bool,
+    bound: &'static str,
+    report: ExplorationReport,
+    witness_len: Option<usize>,
+    elapsed_ms: u128,
+}
+
+fn run_row(
+    family: &'static str,
+    mode: &'static str,
+    protected: bool,
+    bound: &'static str,
+    quick: bool,
+    explore: impl FnOnce(&DporConfig) -> (ExplorationReport, Option<usize>),
+) -> Row {
+    let cfg = DporConfig {
+        // Unprotected modes only need the witness; protected modes must
+        // drain the space (or hit the quick-mode cap cleanly).
+        stop_on_first: !protected,
+        max_schedules: if quick { 60_000 } else { 2_000_000 },
+        ..DporConfig::default()
+    };
+    let start = Instant::now();
+    let (report, witness_len) = explore(&cfg);
+    let elapsed_ms = start.elapsed().as_millis();
+    eprintln!(
+        "  {family}/{mode}: {} schedules, {} pruned, witness={} ({elapsed_ms} ms)",
+        report.schedules_executed,
+        report.classes_pruned,
+        witness_len.is_some(),
+    );
+    Row {
+        family,
+        mode,
+        protected,
+        bound,
+        report,
+        witness_len,
+        elapsed_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dpor.json".to_string());
+
+    const REG_BOUND: &str = "n=3, writes=4, reads=2";
+    const QUEUE_BOUND: &str = "n=3, enq=2, deq=3, arena=2";
+    const SET_BOUND: &str = "n=2, rounds=1, arena=3";
+
+    eprintln!(
+        "E11 exhaustive exploration{}:",
+        if quick {
+            " (--quick, 60k-schedule cap)"
+        } else {
+            ""
+        }
+    );
+    let len_of = |s: Option<Vec<aba_spec::ProcessId>>| s.map(|s| s.len());
+    let rows = vec![
+        run_row("register", "naive", false, REG_BOUND, quick, |cfg| {
+            let (r, w) = explore_register_exhaustive(&NaiveSim::new(3), 4, 2, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("register", "tagged", true, REG_BOUND, quick, |cfg| {
+            let (r, w) = explore_register_exhaustive(&TaggedSim::new(3), 4, 2, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("queue", "unprotected", false, QUEUE_BOUND, quick, |cfg| {
+            let (r, w) = explore_queue_exhaustive(&QueueSim::unprotected(3, 2), 2, 3, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("queue", "tagged", true, QUEUE_BOUND, quick, |cfg| {
+            let (r, w) = explore_queue_exhaustive(&QueueSim::tagged(3, 2), 2, 3, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("queue", "epoch", true, QUEUE_BOUND, quick, |cfg| {
+            let (r, w) = explore_queue_exhaustive(&EpochSim::new(3, 2), 2, 3, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("set", "unprotected", false, SET_BOUND, quick, |cfg| {
+            let (r, w) = explore_set_exhaustive(&SetSim::unprotected(2, 3), 1, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("set", "tagged", true, SET_BOUND, quick, |cfg| {
+            let (r, w) = explore_set_exhaustive(&SetSim::tagged(2, 3), 1, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("set", "hazard", true, SET_BOUND, quick, |cfg| {
+            let (r, w) = explore_set_exhaustive(&SetSim::hazard(2, 3), 1, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+        run_row("set", "epoch", true, SET_BOUND, quick, |cfg| {
+            let (r, w) = explore_set_exhaustive(&SetSim::epoch(2, 3), 1, cfg);
+            (r, len_of(w.map(|w| w.meta.schedule)))
+        }),
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "E11: exhaustive schedule exploration (DPOR){}",
+            if quick { ", 60k-schedule cap" } else { "" }
+        ),
+        &[
+            "family/mode",
+            "bound",
+            "classes explored",
+            "subtrees pruned",
+            "cut at depth",
+            "outcome",
+            "time (ms)",
+        ],
+    );
+    for row in &rows {
+        let outcome = match (row.witness_len, row.report.complete) {
+            (Some(len), _) => format!("WITNESS ({len} steps)"),
+            (None, true) => "clean, space drained".to_string(),
+            (None, false) => "clean, capped".to_string(),
+        };
+        table.row(&[
+            format!("{}/{}", row.family, row.mode),
+            row.bound.to_string(),
+            row.report.schedules_executed.to_string(),
+            row.report.classes_pruned.to_string(),
+            row.report.truncated_traces.to_string(),
+            outcome,
+            row.elapsed_ms.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape: both unprotected modes and the naive register produce a witness within \
+         the enumeration (for the unprotected rows exploration stops at the first one); every \
+         protected mode survives its complete reduced space — tagging, hazard pointers and \
+         epochs are verified ABA-free at these bounds, not merely unfalsified by sampling.  \
+         Depth-cut traces (epoch livelocks under adversarial starvation) are each validated \
+         non-violating by replay."
+    );
+
+    // --- Gate --------------------------------------------------------------
+    let mut failures = Vec::new();
+    for row in &rows {
+        let name = format!("{}/{}", row.family, row.mode);
+        if row.protected && row.witness_len.is_some() {
+            failures.push(format!("{name}: protected mode produced an ABA witness"));
+        }
+        if !row.protected && row.witness_len.is_none() {
+            failures.push(format!("{name}: unprotected mode produced no witness"));
+        }
+        if row.protected && !quick && !row.report.complete {
+            failures.push(format!("{name}: space not drained in full mode"));
+        }
+        if row.report.schedules_executed == 0 {
+            failures.push(format!("{name}: explorer executed zero schedules"));
+        }
+    }
+
+    // --- JSON (schema aba-repro/dpor/v1) -----------------------------------
+    let mut json = String::from("{\"schema\":\"aba-repro/dpor/v1\",\"quick\":");
+    let _ = write!(json, "{quick},\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"family\":\"{}\",\"mode\":\"{}\",\"protected\":{},\"bound\":\"{}\",\
+             \"schedules_executed\":{},\"classes_pruned\":{},\"steps_executed\":{},\
+             \"truncated_traces\":{},\"complete\":{},\"hit_schedule_cap\":{},\
+             \"witness\":{},\"witness_len\":{},\"elapsed_ms\":{}}}",
+            row.family,
+            row.mode,
+            row.protected,
+            row.bound,
+            row.report.schedules_executed,
+            row.report.classes_pruned,
+            row.report.steps_executed,
+            row.report.truncated_traces,
+            row.report.complete,
+            row.report.hit_schedule_cap,
+            row.witness_len.is_some(),
+            row.witness_len
+                .map_or("null".to_string(), |l| l.to_string()),
+            row.elapsed_ms,
+        );
+    }
+    json.push_str("]}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} rows)", rows.len());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("E11 gate: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -57,18 +57,17 @@ impl CoveringReport {
 /// ended up covering (poised to write).
 fn advance_until_covering(sim: &mut Simulation, pid: usize) -> bool {
     loop {
-        match sim.poised(pid) {
-            Some(op) if op.is_write() => return true,
-            Some(_) => match sim.step(pid) {
-                StepOutcome::Stepped { completed: true } => return false,
-                StepOutcome::Idle | StepOutcome::CompletedImmediately => return false,
-                StepOutcome::Stepped { completed: false } => {}
-            },
-            None => match sim.step(pid) {
-                StepOutcome::Stepped { completed: true } => return false,
-                StepOutcome::Idle | StepOutcome::CompletedImmediately => return false,
-                StepOutcome::Stepped { completed: false } => {}
-            },
+        if matches!(sim.poised(pid), Some(op) if op.is_write()) {
+            return true;
+        }
+        match sim.step(pid) {
+            StepOutcome::Stepped {
+                completed: true, ..
+            } => return false,
+            StepOutcome::Idle | StepOutcome::CompletedImmediately => return false,
+            StepOutcome::Stepped {
+                completed: false, ..
+            } => {}
         }
     }
 }

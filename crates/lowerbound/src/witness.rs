@@ -111,7 +111,7 @@ fn search(algo: &dyn SimAlgorithm, expected_correct: bool, budget: SearchBudget)
     let outcome = match search_weak_violation(algo, budget.trials, budget.seed) {
         Some(witness) => WitnessOutcome::Violated {
             // Trial indices are 0-based, so the count is index + 1.
-            trials_used: witness.trial + 1,
+            trials_used: witness.meta.trial + 1,
             witness: Box::new(witness),
         },
         None => WitnessOutcome::Survived {
@@ -175,11 +175,11 @@ mod tests {
                 witness,
             } = &report.outcome
             {
-                assert!(!witness.schedule.is_empty());
+                assert!(!witness.meta.schedule.is_empty());
                 assert!(!witness.history.is_empty());
                 // trials-used is consistent with the witness seed …
                 assert!(*trials_used >= 1 && *trials_used <= budget.trials);
-                assert_eq!(witness.seed, budget.seed + (trials_used - 1));
+                assert_eq!(witness.meta.seed, budget.seed + (trials_used - 1));
                 // … and visible through the accessor.
                 assert_eq!(report.outcome.trials_used(), *trials_used);
                 let text = format!("{}", witness.violation);

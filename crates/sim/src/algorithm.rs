@@ -81,6 +81,31 @@ pub trait SimAlgorithm {
 
     /// Create the state machine for process `pid`.
     fn spawn(&self, pid: ProcessId) -> Box<dyn SimProcess>;
+
+    /// The first shared-memory step process `pid` would execute for `call`
+    /// from an idle state, or `None` if the call completes without touching
+    /// shared memory.
+    ///
+    /// The exhaustive explorer uses this to predict the memory footprint of
+    /// a not-yet-invoked method call (its sleep-set filtering must know what
+    /// an idle-but-scheduled process is about to touch).  The default
+    /// answers by invoking the call on a scratch state machine; algorithms
+    /// whose first step is cheap to name declare it directly.
+    ///
+    /// The footprint may depend on `pid` (e.g. an announce-array slot), and
+    /// the returned operation's *value* fields are representative only — the
+    /// explorer consumes just the object id and read/write kind.  The
+    /// prediction is allowed to over-approximate (a call that would complete
+    /// without a shared step on the live process may still declare a first
+    /// step, as Figure 3's flagged `SC` does) but must never name a
+    /// different object than the live process would touch first.
+    fn first_step(&self, pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        let mut scratch = self.spawn(pid);
+        match scratch.invoke(call) {
+            Some(_) => None,
+            None => Some(scratch.poised()),
+        }
+    }
 }
 
 /// The per-process state machine of a simulated algorithm.

@@ -62,6 +62,16 @@ impl SimAlgorithm for TaggedSim {
             phase: TaggedPhase::Idle,
         })
     }
+
+    /// Declared footprint of a fresh call: both methods are a single step on
+    /// the one register (the written tag word varies, the footprint never).
+    fn first_step(&self, _pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        match call {
+            MethodCall::DWrite(_) => Some(BaseOp::Write(X, 0)),
+            MethodCall::DRead => Some(BaseOp::Read(X)),
+            other => panic!("tagged register does not support {other:?}"),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -177,6 +187,15 @@ impl SimAlgorithm for NaiveSim {
             last_value: INITIAL_WORD,
             phase: TaggedPhase::Idle,
         })
+    }
+
+    /// Declared footprint of a fresh call (value field representative only).
+    fn first_step(&self, _pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        match call {
+            MethodCall::DWrite(_) => Some(BaseOp::Write(X, 0)),
+            MethodCall::DRead => Some(BaseOp::Read(X)),
+            other => panic!("naive register does not support {other:?}"),
+        }
     }
 }
 

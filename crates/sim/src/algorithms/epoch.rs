@@ -114,6 +114,16 @@ impl SimAlgorithm for EpochSim {
             last_g: 0,
         })
     }
+
+    /// Declared footprint of a fresh call: an enqueue opens on the free-set
+    /// read; a dequeue pins first, so it opens on the global-epoch read.
+    fn first_step(&self, _pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        match call {
+            MethodCall::Enqueue(_) => Some(BaseOp::Read(OBJ_FREE)),
+            MethodCall::Dequeue => Some(BaseOp::Read(self.global_epoch_obj())),
+            other => panic!("epoch queue simulation given {other:?}"),
+        }
+    }
 }
 
 /// Where the shared advance/free tail-sequence returns to once it finishes.

@@ -109,6 +109,17 @@ impl SimAlgorithm for QueueSim {
             value: 0,
         })
     }
+
+    /// Declared footprint of a fresh call: an enqueue opens on the free-set
+    /// read, a dequeue on the head read — for both variants (tagging changes
+    /// word contents, never which object a state touches first).
+    fn first_step(&self, _pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        match call {
+            MethodCall::Enqueue(_) => Some(BaseOp::Read(OBJ_FREE)),
+            MethodCall::Dequeue => Some(BaseOp::Read(OBJ_HEAD)),
+            other => panic!("queue simulation given {other:?}"),
+        }
+    }
 }
 
 /// Where a method call currently stands.  Every variant carries the raw

@@ -179,6 +179,22 @@ impl SimAlgorithm for SetSim {
             scan_protected: Vec::new(),
         })
     }
+
+    /// Declared footprint of a fresh call: every set operation starts the
+    /// shared Harris–Michael traversal at the head read — except in epoch
+    /// mode, where the pin's global-epoch read comes first.
+    fn first_step(&self, _pid: ProcessId, call: MethodCall) -> Option<BaseOp> {
+        match call {
+            MethodCall::Insert(_) | MethodCall::Remove(_) | MethodCall::Contains(_) => {
+                Some(if self.mode == Mode::Epoch {
+                    BaseOp::Read(self.global_epoch_obj())
+                } else {
+                    BaseOp::Read(OBJ_HEAD)
+                })
+            }
+            other => panic!("set simulation given {other:?}"),
+        }
+    }
 }
 
 /// What the in-flight method call is trying to accomplish.

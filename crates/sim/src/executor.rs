@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use aba_spec::{History, OpKind, OpRecord, ProcessId};
 
 use crate::algorithm::{MethodCall, MethodResponse, SimAlgorithm, SimProcess};
-use crate::object::{BaseOp, ObjId, SharedMemory};
+use crate::object::{BaseOp, ObjId, SharedMemory, StepAccess, StepResult};
 
 /// The outcome of scheduling one process for one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,11 +26,26 @@ pub enum StepOutcome {
     /// memory step.
     CompletedImmediately,
     /// The process executed one shared-memory step; `completed` tells whether
-    /// that step finished its current method call.
+    /// that step finished its current method call, and `access` is the
+    /// step's *post-hoc* memory footprint (a failed CAS reports
+    /// `writes: false` — it observed but did not change the object), which
+    /// is what the exhaustive explorer's dependency relation consumes.
     Stepped {
         /// Whether the method call completed with this step.
         completed: bool,
+        /// The precise memory-access footprint of the executed step.
+        access: StepAccess,
     },
+}
+
+impl StepOutcome {
+    /// The memory footprint of this outcome, if a shared-memory step ran.
+    pub fn access(&self) -> Option<StepAccess> {
+        match self {
+            StepOutcome::Stepped { access, .. } => Some(*access),
+            _ => None,
+        }
+    }
 }
 
 /// A running simulation of one algorithm instance.
@@ -102,6 +117,28 @@ impl Simulation {
         } else {
             Some(self.procs[pid].poised())
         }
+    }
+
+    /// The next method call waiting in `pid`'s program queue.
+    pub fn peek_queued(&self, pid: ProcessId) -> Option<MethodCall> {
+        self.queues[pid].front().copied()
+    }
+
+    /// The *predicted* memory footprint of the next `step(pid)`: the poised
+    /// step's footprint for a process mid-method, the declared first step of
+    /// the queued call for an idle process ([`SimAlgorithm::first_step`]),
+    /// and `None` when the process has nothing to do or its next call
+    /// completes without touching shared memory.
+    ///
+    /// The prediction is conservative where it must be (a poised CAS counts
+    /// as writing even if it will fail), which is the safe direction for the
+    /// explorer's sleep-set filtering.
+    pub fn next_access(&self, algo: &dyn SimAlgorithm, pid: ProcessId) -> Option<StepAccess> {
+        if let Some(op) = self.poised(pid) {
+            return Some(op.access());
+        }
+        let call = self.peek_queued(pid)?;
+        algo.first_step(pid, call).map(|op| op.access())
     }
 
     /// The register configuration `reg(C)` (all base-object values).
@@ -187,6 +224,12 @@ impl Simulation {
 
         let op = self.procs[pid].poised();
         let result = self.memory.apply(op);
+        // Post-hoc footprint: a failed CAS observed the object but left it
+        // unchanged, so it commutes with reads (and other failed CASes).
+        let mut access = op.access();
+        if let StepResult::CasOutcome { success, .. } = result {
+            access.writes = success;
+        }
         self.tick();
         self.current_steps[pid] += 1;
         self.total_steps[pid] += 1;
@@ -194,9 +237,15 @@ impl Simulation {
             Some(response) => {
                 let (call, invoked) = self.pending[pid].take().expect("pending call");
                 self.record(pid, call, response, invoked);
-                StepOutcome::Stepped { completed: true }
+                StepOutcome::Stepped {
+                    completed: true,
+                    access,
+                }
             }
-            None => StepOutcome::Stepped { completed: false },
+            None => StepOutcome::Stepped {
+                completed: false,
+                access,
+            },
         }
     }
 
@@ -220,8 +269,12 @@ impl Simulation {
             match self.step(pid) {
                 StepOutcome::Idle => return false,
                 StepOutcome::CompletedImmediately => return true,
-                StepOutcome::Stepped { completed: true } => return true,
-                StepOutcome::Stepped { completed: false } => {}
+                StepOutcome::Stepped {
+                    completed: true, ..
+                } => return true,
+                StepOutcome::Stepped {
+                    completed: false, ..
+                } => {}
             }
         }
     }
@@ -301,8 +354,17 @@ mod tests {
         let mut sim = Simulation::new(&algo);
         sim.enqueue(0, MethodCall::DWrite(1));
         // TaggedSim's DWrite is a single write step: first step invokes and
-        // executes it.
-        assert_eq!(sim.step(0), StepOutcome::Stepped { completed: true });
+        // executes it, and the footprint is a write of object 0.
+        assert_eq!(
+            sim.step(0),
+            StepOutcome::Stepped {
+                completed: true,
+                access: StepAccess {
+                    obj: 0,
+                    writes: true
+                }
+            }
+        );
         assert_eq!(sim.last_op_steps(0), 1);
         assert!(sim.is_quiescent());
     }
@@ -313,13 +375,27 @@ mod tests {
         let mut sim = Simulation::new(&algo);
         sim.enqueue(0, MethodCall::DWrite(9));
         // First step: the GetSeq announce-array read.
-        assert_eq!(sim.step(0), StepOutcome::Stepped { completed: false });
+        let first = sim.step(0);
+        assert!(matches!(
+            first,
+            StepOutcome::Stepped {
+                completed: false,
+                ..
+            }
+        ));
+        assert!(!first.access().unwrap().writes);
         // Now the process is poised to write X (object 0).
         let poised = sim.poised(0).unwrap();
         assert!(poised.is_write());
         assert_eq!(poised.object(), 0);
         assert_eq!(sim.covered_register_count(), 1);
-        assert_eq!(sim.step(0), StepOutcome::Stepped { completed: true });
+        assert!(matches!(
+            sim.step(0),
+            StepOutcome::Stepped {
+                completed: true,
+                ..
+            }
+        ));
         assert_eq!(sim.last_op_steps(0), 2);
     }
 
@@ -362,6 +438,51 @@ mod tests {
         sim.run_process_to_completion(1);
         assert_eq!(sim.max_op_steps(1), 4);
         assert_eq!(sim.total_steps(1), 8);
+    }
+
+    #[test]
+    fn failed_cas_footprint_is_a_read_and_predictions_are_conservative() {
+        use crate::algorithms::queue::QueueSim;
+        let algo = QueueSim::unprotected(2, 3);
+        let mut sim = Simulation::new(&algo);
+        sim.enqueue(0, MethodCall::Enqueue(1));
+        sim.enqueue(1, MethodCall::Enqueue(2));
+        // Before anything runs, an idle process's next access is its call's
+        // declared first step: the free-set read (object 2).
+        let predicted = sim.next_access(&algo, 0).unwrap();
+        assert_eq!(
+            predicted,
+            StepAccess {
+                obj: 2,
+                writes: false
+            }
+        );
+        // Both read the free mask, then race the allocation CAS.
+        assert!(!sim.step(0).access().unwrap().writes);
+        assert!(!sim.step(1).access().unwrap().writes);
+        // Poised-CAS predictions are conservatively writing for both…
+        assert!(sim.next_access(&algo, 0).unwrap().writes);
+        assert!(sim.next_access(&algo, 1).unwrap().writes);
+        // …but post-hoc the winner wrote and the loser only observed.
+        let won = sim.step(0).access().unwrap();
+        assert_eq!(
+            won,
+            StepAccess {
+                obj: 2,
+                writes: true
+            }
+        );
+        let lost = sim.step(1).access().unwrap();
+        assert_eq!(
+            lost,
+            StepAccess {
+                obj: 2,
+                writes: false
+            }
+        );
+        // A process with nothing at all to do has no next access.
+        let idle = Simulation::new(&algo);
+        assert_eq!(idle.next_access(&algo, 0), None);
     }
 
     #[test]

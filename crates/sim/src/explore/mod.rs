@@ -30,27 +30,62 @@ use crate::algorithm::{MethodCall, SimAlgorithm};
 use crate::executor::Simulation;
 use crate::schedule;
 
-/// A violation witness: the schedule, the resulting history and the definite
-/// violation found in it.
-#[derive(Debug, Clone)]
-pub struct ViolationWitness {
+pub mod dpor;
+
+/// Reproduction metadata shared by every witness kind: the schedule that
+/// produced the violation, the seed it was derived from, and the index of
+/// the search trial that found it.
+///
+/// Random searches fill `seed`/`trial` with the violating schedule's seed
+/// and 0-based trial number; the exhaustive explorer
+/// ([`dpor::explore_exhaustive`]) has no seed, so it stores `seed = 0` and
+/// the 0-based index of the violating trace in `trial`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessMeta {
     /// The schedule (sequence of process IDs) that produced the violation.
     pub schedule: Vec<ProcessId>,
-    /// Seed of the random schedule, for reproduction.
+    /// Seed of the random schedule, for reproduction (0 for exhaustive
+    /// exploration, which is deterministic without one).
     pub seed: u64,
-    /// 0-based index of the trial (within the search) that found the
-    /// violation.
+    /// 0-based index of the trial — random-search attempt or exhaustively
+    /// explored trace — that found the violation.
     pub trial: u64,
+}
+
+/// A violation witness: the reproduction metadata, the resulting history and
+/// the definite violation found in it.
+#[derive(Debug, Clone)]
+pub struct ViolationWitness {
+    /// How to reproduce the violating execution.
+    pub meta: WitnessMeta,
     /// The complete history of the execution.
     pub history: History,
     /// The first definite violation found.
     pub violation: WeakViolation,
 }
 
-/// Run the lower-bound workload under `schedule`: process 0 performs
-/// `writes` DWrites (of values `1, 2, 3, …`), every other process performs
-/// `reads` DReads.  After the schedule is exhausted the simulation is run to
-/// quiescence so that the history is complete.
+/// Enqueue the lower-bound register workload: process 0 performs `writes`
+/// DWrites (of values `1, 2, 3, …`), every other process performs `reads`
+/// DReads.  Shared by [`run_register_workload`] and the exhaustive explorer
+/// so that an explored trace replays bit-for-bit through the same runner.
+pub fn seed_register_workload(sim: &mut Simulation, n: usize, writes: usize, reads: usize) {
+    for i in 0..writes {
+        // The written values deliberately repeat (A-B-A patterns): the whole
+        // point of an ABA-detecting register is to notice writes that restore
+        // an earlier value, so the workload must contain them.
+        sim.enqueue(0, MethodCall::DWrite((i % 3) as u32 + 1));
+    }
+    for pid in 1..n {
+        for _ in 0..reads {
+            sim.enqueue(pid, MethodCall::DRead);
+        }
+    }
+}
+
+/// Run the lower-bound workload under `schedule` (see
+/// [`seed_register_workload`] for the call pattern).  After the schedule is
+/// exhausted the simulation is run to quiescence so that the history is
+/// complete.
 pub fn run_register_workload(
     algo: &dyn SimAlgorithm,
     writes: usize,
@@ -58,17 +93,7 @@ pub fn run_register_workload(
     schedule: &[ProcessId],
 ) -> History {
     let mut sim = Simulation::new(algo);
-    for i in 0..writes {
-        // The written values deliberately repeat (A-B-A patterns): the whole
-        // point of an ABA-detecting register is to notice writes that restore
-        // an earlier value, so the workload must contain them.
-        sim.enqueue(0, MethodCall::DWrite((i % 3) as u32 + 1));
-    }
-    for pid in 1..algo.n() {
-        for _ in 0..reads {
-            sim.enqueue(pid, MethodCall::DRead);
-        }
-    }
+    seed_register_workload(&mut sim, algo.n(), writes, reads);
     sim.run_schedule(schedule);
     sim.run_until_quiescent();
     sim.history().clone()
@@ -98,9 +123,11 @@ pub fn search_weak_violation(
         let violations = check_weak_history(&history);
         if let Some(v) = violations.into_iter().next() {
             return Some(ViolationWitness {
-                schedule: sched,
-                seed,
-                trial,
+                meta: WitnessMeta {
+                    schedule: sched,
+                    seed,
+                    trial,
+                },
                 history,
                 violation: v,
             });
@@ -122,19 +149,10 @@ pub struct QueueWorkloadOutcome {
     pub quiesced: bool,
 }
 
-/// Run a producer/consumer workload on a simulated queue under `schedule`:
-/// even processes each enqueue `enqueues` unique values, odd processes each
-/// perform `dequeues` dequeues.  After the schedule is exhausted the
-/// simulation is driven round-robin towards quiescence, bounded so that a
-/// corrupted (cycled) queue cannot wedge the search.
-pub fn run_queue_workload(
-    algo: &dyn SimAlgorithm,
-    enqueues: usize,
-    dequeues: usize,
-    schedule: &[ProcessId],
-) -> QueueWorkloadOutcome {
-    let n = algo.n();
-    let mut sim = Simulation::new(algo);
+/// Enqueue the producer/consumer queue workload: even processes each enqueue
+/// `enqueues` unique values, odd processes each perform `dequeues` dequeues.
+/// Shared by [`run_queue_workload`] and the exhaustive explorer.
+pub fn seed_queue_workload(sim: &mut Simulation, n: usize, enqueues: usize, dequeues: usize) {
     for pid in 0..n {
         if pid % 2 == 0 {
             for i in 0..enqueues {
@@ -147,6 +165,21 @@ pub fn run_queue_workload(
             }
         }
     }
+}
+
+/// Run a producer/consumer workload on a simulated queue under `schedule`
+/// (see [`seed_queue_workload`] for the call pattern).  After the schedule is
+/// exhausted the simulation is driven round-robin towards quiescence, bounded
+/// so that a corrupted (cycled) queue cannot wedge the search.
+pub fn run_queue_workload(
+    algo: &dyn SimAlgorithm,
+    enqueues: usize,
+    dequeues: usize,
+    schedule: &[ProcessId],
+) -> QueueWorkloadOutcome {
+    let n = algo.n();
+    let mut sim = Simulation::new(algo);
+    seed_queue_workload(&mut sim, n, enqueues, dequeues);
     sim.run_schedule(schedule);
     // Bounded drain: generous for any lock-free execution of this little
     // work, yet finite when the structure has been corrupted into a cycle.
@@ -167,13 +200,8 @@ pub fn run_queue_workload(
 /// non-linearizable completed history or wedged the structure entirely.
 #[derive(Debug, Clone)]
 pub struct QueueViolationWitness {
-    /// The schedule (sequence of process IDs) that produced the violation.
-    pub schedule: Vec<ProcessId>,
-    /// Seed of the random schedule, for reproduction.
-    pub seed: u64,
-    /// 0-based index of the trial (within the search) that found the
-    /// violation.
-    pub trial: u64,
+    /// How to reproduce the violating execution.
+    pub meta: WitnessMeta,
     /// The complete history of the execution.
     pub history: History,
     /// `true` iff the execution failed to quiesce (links cycled) rather than
@@ -224,9 +252,11 @@ pub fn search_queue_violation(
             );
         if violated {
             return Some(QueueViolationWitness {
-                schedule: sched,
-                seed,
-                trial,
+                meta: WitnessMeta {
+                    schedule: sched,
+                    seed,
+                    trial,
+                },
                 history: outcome.history,
                 wedged,
             });
@@ -250,15 +280,7 @@ pub fn run_set_workload(
 ) -> QueueWorkloadOutcome {
     let n = algo.n();
     let mut sim = Simulation::new(algo);
-    for pid in 0..n {
-        for r in 0..rounds {
-            let key = ((pid + r) % 3 + 1) as u32;
-            let probe = ((pid + r + 1) % 3 + 1) as u32;
-            sim.enqueue(pid, MethodCall::Insert(key));
-            sim.enqueue(pid, MethodCall::Contains(probe));
-            sim.enqueue(pid, MethodCall::Remove(key));
-        }
-    }
+    seed_set_workload(&mut sim, n, rounds);
     sim.run_schedule(schedule);
     // Bounded drain: generous for any lock-free execution of this little
     // work, yet finite when the structure has been corrupted into a cycle.
@@ -280,18 +302,29 @@ pub fn run_set_workload(
 /// the [`QueueViolationWitness`] shape, for the traversal-based family.
 #[derive(Debug, Clone)]
 pub struct SetViolationWitness {
-    /// The schedule (sequence of process IDs) that produced the violation.
-    pub schedule: Vec<ProcessId>,
-    /// Seed of the random schedule, for reproduction.
-    pub seed: u64,
-    /// 0-based index of the trial (within the search) that found the
-    /// violation.
-    pub trial: u64,
+    /// How to reproduce the violating execution.
+    pub meta: WitnessMeta,
     /// The complete history of the execution.
     pub history: History,
     /// `true` iff the execution failed to quiesce (links cycled) rather than
     /// completing with an inconsistent history.
     pub wedged: bool,
+}
+
+/// Enqueue the mixed insert/contains/remove set workload: every process
+/// performs `rounds` rounds of `Insert(k)`, `Contains(k')`, `Remove(k)` over
+/// a tiny shared key space (keys `1..=3`).  Shared by [`run_set_workload`]
+/// and the exhaustive explorer.
+pub fn seed_set_workload(sim: &mut Simulation, n: usize, rounds: usize) {
+    for pid in 0..n {
+        for r in 0..rounds {
+            let key = ((pid + r) % 3 + 1) as u32;
+            let probe = ((pid + r + 1) % 3 + 1) as u32;
+            sim.enqueue(pid, MethodCall::Insert(key));
+            sim.enqueue(pid, MethodCall::Contains(probe));
+            sim.enqueue(pid, MethodCall::Remove(key));
+        }
+    }
 }
 
 /// Rounds per process of [`run_set_workload`] used by
@@ -332,9 +365,11 @@ pub fn search_set_violation(
             );
         if violated {
             return Some(SetViolationWitness {
-                schedule: sched,
-                seed,
-                trial,
+                meta: WitnessMeta {
+                    schedule: sched,
+                    seed,
+                    trial,
+                },
                 history: outcome.history,
                 wedged,
             });
@@ -524,7 +559,7 @@ mod tests {
         let algo = NaiveSim::new(3);
         let witness = search_weak_violation(&algo, 200, 1).expect("naive must break");
         assert!(!witness.history.is_empty());
-        assert!(!witness.schedule.is_empty());
+        assert!(!witness.meta.schedule.is_empty());
     }
 
     #[test]
@@ -563,7 +598,7 @@ mod tests {
         // schedules are seed-derived and the simulator takes no real time).
         let algo = QueueSim::unprotected(6, 3);
         let witness = search_queue_violation(&algo, 200, 1).expect("unprotected must break");
-        assert!(!witness.schedule.is_empty());
+        assert!(!witness.meta.schedule.is_empty());
         if !witness.wedged {
             assert_eq!(
                 aba_spec::check_queue_history(&witness.history),
@@ -572,7 +607,7 @@ mod tests {
         }
         // The witness is reproducible from its schedule alone (3 producers x
         // 4 enqueues, 3 consumers x 5 dequeues — the search's workload).
-        let replay = run_queue_workload(&algo, 4, 5, &witness.schedule);
+        let replay = run_queue_workload(&algo, 4, 5, &witness.meta.schedule);
         assert_eq!(replay.history, witness.history);
         assert_eq!(replay.quiesced, !witness.wedged);
     }
@@ -613,7 +648,7 @@ mod tests {
         // hundred bursty schedules, deterministically.
         let algo = SetSim::unprotected(6, 4);
         let witness = search_set_violation(&algo, 400, 1).expect("unprotected must break");
-        assert!(!witness.schedule.is_empty());
+        assert!(!witness.meta.schedule.is_empty());
         if !witness.wedged {
             assert_eq!(
                 aba_spec::check_set_history(&witness.history),
@@ -621,7 +656,7 @@ mod tests {
             );
         }
         // The witness is reproducible from its schedule alone.
-        let replay = run_set_workload(&algo, SET_SEARCH_ROUNDS, &witness.schedule);
+        let replay = run_set_workload(&algo, SET_SEARCH_ROUNDS, &witness.meta.schedule);
         assert_eq!(replay.history, witness.history);
         assert_eq!(replay.quiesced, !witness.wedged);
     }
@@ -641,7 +676,7 @@ mod tests {
         // Including the exact seeds that break the unprotected variant.
         let unprotected = SetSim::unprotected(6, 4);
         if let Some(w) = search_set_violation(&unprotected, 400, 1) {
-            let outcome = run_set_workload(&algo, SET_SEARCH_ROUNDS, &w.schedule);
+            let outcome = run_set_workload(&algo, SET_SEARCH_ROUNDS, &w.meta.schedule);
             assert!(outcome.quiesced);
             assert!(check_set_history(&outcome.history).is_linearizable());
         }
@@ -667,9 +702,9 @@ mod tests {
                     LinCheckOutcome::NotLinearizable
                 )
         };
-        let minimized = minimize_violation_schedule(&witness.schedule, violates);
+        let minimized = minimize_violation_schedule(&witness.meta.schedule, violates);
         assert!(
-            minimized.len() <= witness.schedule.len(),
+            minimized.len() <= witness.meta.schedule.len(),
             "minimization must never grow the schedule"
         );
         assert!(
@@ -704,8 +739,8 @@ mod tests {
                     LinCheckOutcome::NotLinearizable
                 )
         };
-        let minimized = minimize_violation_schedule(&witness.schedule, violates);
-        assert!(minimized.len() <= witness.schedule.len());
+        let minimized = minimize_violation_schedule(&witness.meta.schedule, violates);
+        assert!(minimized.len() <= witness.meta.schedule.len());
         assert!(violates(&minimized));
     }
 

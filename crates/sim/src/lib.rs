@@ -45,10 +45,15 @@ pub mod schedule;
 
 pub use algorithm::{MethodCall, MethodResponse, SimAlgorithm, SimProcess};
 pub use executor::{Simulation, StepOutcome};
+pub use explore::dpor::{
+    explore_exhaustive, explore_queue_exhaustive, explore_register_exhaustive,
+    explore_set_exhaustive, DporConfig, DporWitness, ExplorationReport,
+};
 pub use explore::{
     measure_llsc_worst_case, measure_register_worst_case, minimize_violation_schedule,
     run_queue_workload, run_register_workload, run_set_workload, search_queue_violation,
-    search_set_violation, search_weak_violation, QueueViolationWitness, QueueWorkloadOutcome,
-    SetViolationWitness, StepStats, ViolationWitness, SET_SEARCH_ROUNDS,
+    search_set_violation, search_weak_violation, seed_queue_workload, seed_register_workload,
+    seed_set_workload, QueueViolationWitness, QueueWorkloadOutcome, SetViolationWitness, StepStats,
+    ViolationWitness, WitnessMeta, SET_SEARCH_ROUNDS,
 };
-pub use object::{BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepResult};
+pub use object::{BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepAccess, StepResult};

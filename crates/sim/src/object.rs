@@ -106,6 +106,18 @@ impl BaseOp {
         }
     }
 
+    /// The *predicted* memory-access footprint of this step, before it
+    /// executes.  A CAS is conservatively counted as writing — whether it
+    /// actually mutates depends on the value it meets; the executor reports
+    /// the precise post-hoc footprint in
+    /// [`StepOutcome::Stepped`](crate::executor::StepOutcome).
+    pub fn access(&self) -> StepAccess {
+        StepAccess {
+            obj: self.object(),
+            writes: self.is_mutating(),
+        }
+    }
+
     /// `true` for steps that may change the object (writes and CASes).
     pub fn is_mutating(&self) -> bool {
         !matches!(self, BaseOp::Read(_))
@@ -120,6 +132,30 @@ impl BaseOp {
     /// `true` for CAS steps.
     pub fn is_cas(&self) -> bool {
         matches!(self, BaseOp::Cas(_, _, _))
+    }
+}
+
+/// The shared-memory footprint of one executed (or poised) step: which base
+/// object it touches and whether it (possibly) changes it.
+///
+/// This is the granularity at which the exhaustive explorer reasons about
+/// commutativity: two steps are *dependent* iff they touch the same object
+/// and at least one of them writes (a plain write, a successful CAS, or —
+/// predictively — any CAS).  Everything else commutes, and schedules that
+/// differ only by swapping adjacent commuting steps are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StepAccess {
+    /// The base object touched.
+    pub obj: ObjId,
+    /// `true` if the step may have changed the object's value.
+    pub writes: bool,
+}
+
+impl StepAccess {
+    /// `true` iff re-ordering `self` with `other` could change behaviour:
+    /// same object and at least one side writes.
+    pub fn dependent(&self, other: &StepAccess) -> bool {
+        self.obj == other.obj && (self.writes || other.writes)
     }
 }
 
@@ -298,5 +334,25 @@ mod tests {
         assert!(BaseOp::Cas(0, 1, 2).is_cas());
         assert!(!BaseOp::Read(0).is_mutating());
         assert_eq!(BaseOp::Cas(3, 0, 0).object(), 3);
+    }
+
+    #[test]
+    fn access_footprints_and_dependency() {
+        let r0 = BaseOp::Read(0).access();
+        let w0 = BaseOp::Write(0, 1).access();
+        let c0 = BaseOp::Cas(0, 1, 2).access();
+        let r1 = BaseOp::Read(1).access();
+        assert!(!r0.writes);
+        assert!(w0.writes);
+        // Predicted CAS footprints are conservatively writing.
+        assert!(c0.writes);
+        // Same object, one writer: dependent (both orders).
+        assert!(r0.dependent(&w0));
+        assert!(w0.dependent(&r0));
+        assert!(w0.dependent(&c0));
+        // Two reads of the same object commute.
+        assert!(!r0.dependent(&r0));
+        // Different objects always commute.
+        assert!(!w0.dependent(&r1));
     }
 }

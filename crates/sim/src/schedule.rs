@@ -103,6 +103,55 @@ pub fn write_storm(n: usize, reader: ProcessId, rounds: usize, burst: usize) -> 
     schedule
 }
 
+/// A replayable schedule prefix: the path from a workload's initial state to
+/// the current exploration frontier.
+///
+/// The exhaustive explorer ([`crate::explore::dpor`]) grows and shrinks the
+/// prefix as its depth-first search descends and backtracks; a complete
+/// execution's prefix *is* its schedule, replayable through the ordinary
+/// workload runners (the simulator is a pure function of the schedule).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Prefix {
+    steps: Vec<ProcessId>,
+}
+
+impl Prefix {
+    /// The empty prefix (the workload's initial state).
+    pub fn new() -> Self {
+        Prefix::default()
+    }
+
+    /// Extend the prefix by one scheduled step of `pid`.
+    pub fn push(&mut self, pid: ProcessId) {
+        self.steps.push(pid);
+    }
+
+    /// Retract the most recent step (backtracking), returning its process.
+    pub fn pop(&mut self) -> Option<ProcessId> {
+        self.steps.pop()
+    }
+
+    /// Number of steps in the prefix — the depth of the frontier.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the prefix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The prefix as a plain schedule slice.
+    pub fn as_slice(&self) -> &[ProcessId] {
+        &self.steps
+    }
+
+    /// Clone the prefix out as an owned schedule.
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.steps.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

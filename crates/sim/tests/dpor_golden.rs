@@ -1,0 +1,176 @@
+//! Golden-pinned minimized witness schedules.
+//!
+//! These fixtures are the ddmin-minimized ABA witnesses the random search
+//! finds for the unprotected queue and set (first found by PR 5's
+//! `search_*_violation` under the vendored RNG, then shrunk with
+//! `minimize_violation_schedule`).  Pinning them guards three things:
+//!
+//! 1. the witnesses still *reproduce* (the simulated algorithms and checkers
+//!    have not drifted);
+//! 2. they are still 1-minimal (the minimizer has not regressed);
+//! 3. the searches still find them at the same seed/trial (the vendored RNG
+//!    stream and schedule generators are stable).
+//!
+//! The exhaustive explorer must do at least as well: at a strictly *smaller*
+//! workload bound it must produce a witness whose minimized schedule is no
+//! longer than the golden one.
+
+use aba_sim::algorithms::queue::QueueSim;
+use aba_sim::algorithms::set::SetSim;
+use aba_sim::{
+    explore_queue_exhaustive, explore_set_exhaustive, minimize_violation_schedule,
+    run_queue_workload, run_set_workload, search_queue_violation, search_set_violation, DporConfig,
+    SET_SEARCH_ROUNDS,
+};
+use aba_spec::{check_queue_history, check_set_history, LinCheckOutcome, ProcessId};
+
+/// PR 5's minimized unprotected-queue witness: `QueueSim::unprotected(6, 3)`,
+/// workload 4 enqueues per producer / 5 dequeues per consumer, found by
+/// `search_queue_violation(_, 200, 1)` at seed 115 (trial 114) and shrunk
+/// from 1080 steps to 70.
+const GOLDEN_QUEUE_SEED: u64 = 115;
+const GOLDEN_QUEUE_TRIAL: u64 = 114;
+const GOLDEN_QUEUE_MIN: [ProcessId; 70] = [
+    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 5, 5, 5, 5, 5, 5, 5, 2, 4, 4, 4, 4, 4, 4, 4,
+    4, 5, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1,
+];
+
+/// PR 5's minimized unprotected-set witness: `SetSim::unprotected(6, 4)`,
+/// `SET_SEARCH_ROUNDS` rounds per process, found by
+/// `search_set_violation(_, 400, 1)` at seed 15 (trial 14) and shrunk from
+/// 1440 steps to 71.
+const GOLDEN_SET_SEED: u64 = 15;
+const GOLDEN_SET_TRIAL: u64 = 14;
+const GOLDEN_SET_MIN: [ProcessId; 71] = [
+    3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 1, 1, 1, 1, 1, 1,
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 4, 4, 4, 4, 4, 4,
+    4, 4, 4, 4, 4, 4, 4,
+];
+
+fn queue_violates(algo: &QueueSim, sched: &[ProcessId]) -> bool {
+    let outcome = run_queue_workload(algo, 4, 5, sched);
+    !outcome.quiesced
+        || matches!(
+            check_queue_history(&outcome.history),
+            LinCheckOutcome::NotLinearizable
+        )
+}
+
+fn set_violates(algo: &SetSim, rounds: usize, sched: &[ProcessId]) -> bool {
+    let outcome = run_set_workload(algo, rounds, sched);
+    !outcome.quiesced
+        || matches!(
+            check_set_history(&outcome.history),
+            LinCheckOutcome::NotLinearizable
+        )
+}
+
+fn assert_one_minimal(minimized: &[ProcessId], mut violates: impl FnMut(&[ProcessId]) -> bool) {
+    for i in 0..minimized.len() {
+        let mut shorter = minimized.to_vec();
+        shorter.remove(i);
+        if !shorter.is_empty() {
+            assert!(
+                !violates(&shorter),
+                "step {i} of the golden schedule is removable"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_queue_witness_reproduces_and_is_one_minimal() {
+    let algo = QueueSim::unprotected(6, 3);
+    assert!(
+        queue_violates(&algo, &GOLDEN_QUEUE_MIN),
+        "the golden queue witness no longer reproduces"
+    );
+    assert_one_minimal(&GOLDEN_QUEUE_MIN, |s| queue_violates(&algo, s));
+}
+
+#[test]
+fn golden_set_witness_reproduces_and_is_one_minimal() {
+    let algo = SetSim::unprotected(6, 4);
+    assert!(
+        set_violates(&algo, SET_SEARCH_ROUNDS, &GOLDEN_SET_MIN),
+        "the golden set witness no longer reproduces"
+    );
+    assert_one_minimal(&GOLDEN_SET_MIN, |s| {
+        set_violates(&algo, SET_SEARCH_ROUNDS, s)
+    });
+}
+
+#[test]
+fn queue_search_and_minimizer_still_derive_the_golden_fixture() {
+    let algo = QueueSim::unprotected(6, 3);
+    let witness = search_queue_violation(&algo, 200, 1).expect("unprotected must break");
+    assert_eq!(witness.meta.seed, GOLDEN_QUEUE_SEED);
+    assert_eq!(witness.meta.trial, GOLDEN_QUEUE_TRIAL);
+    let minimized =
+        minimize_violation_schedule(&witness.meta.schedule, |s| queue_violates(&algo, s));
+    assert_eq!(minimized, GOLDEN_QUEUE_MIN.to_vec());
+}
+
+#[test]
+fn set_search_and_minimizer_still_derive_the_golden_fixture() {
+    let algo = SetSim::unprotected(6, 4);
+    let witness = search_set_violation(&algo, 400, 1).expect("unprotected must break");
+    assert_eq!(witness.meta.seed, GOLDEN_SET_SEED);
+    assert_eq!(witness.meta.trial, GOLDEN_SET_TRIAL);
+    let minimized = minimize_violation_schedule(&witness.meta.schedule, |s| {
+        set_violates(&algo, SET_SEARCH_ROUNDS, s)
+    });
+    assert_eq!(minimized, GOLDEN_SET_MIN.to_vec());
+}
+
+#[test]
+fn dpor_queue_witness_minimizes_to_at_most_the_golden_length() {
+    // The explorer works at a strictly smaller bound (5 processes, arena 2,
+    // 1 enqueue / 2 dequeues vs. the search's 6 processes, arena 3, 4/5) and
+    // still proves a witness exists — whose minimized schedule is shorter
+    // than the golden one.
+    let algo = QueueSim::unprotected(5, 2);
+    let cfg = DporConfig {
+        stop_on_first: true,
+        ..DporConfig::default()
+    };
+    let (_, witness) = explore_queue_exhaustive(&algo, 1, 2, &cfg);
+    let w = witness.expect("exhaustive exploration must find the queue ABA");
+    let violates = |s: &[ProcessId]| {
+        let outcome = run_queue_workload(&algo, 1, 2, s);
+        !outcome.quiesced
+            || matches!(
+                check_queue_history(&outcome.history),
+                LinCheckOutcome::NotLinearizable
+            )
+    };
+    let minimized = minimize_violation_schedule(&w.meta.schedule, violates);
+    assert!(
+        minimized.len() <= GOLDEN_QUEUE_MIN.len(),
+        "DPOR witness minimized to {} steps, golden is {}",
+        minimized.len(),
+        GOLDEN_QUEUE_MIN.len()
+    );
+    assert!(violates(&minimized));
+}
+
+#[test]
+fn dpor_set_witness_minimizes_to_at_most_the_golden_length() {
+    let algo = SetSim::unprotected(2, 3);
+    let cfg = DporConfig {
+        stop_on_first: true,
+        ..DporConfig::default()
+    };
+    let (_, witness) = explore_set_exhaustive(&algo, 1, &cfg);
+    let w = witness.expect("exhaustive exploration must find the set ABA");
+    let violates = |s: &[ProcessId]| set_violates(&algo, 1, s);
+    let minimized = minimize_violation_schedule(&w.meta.schedule, violates);
+    assert!(
+        minimized.len() <= GOLDEN_SET_MIN.len(),
+        "DPOR witness minimized to {} steps, golden is {}",
+        minimized.len(),
+        GOLDEN_SET_MIN.len()
+    );
+    assert!(violates(&minimized));
+}

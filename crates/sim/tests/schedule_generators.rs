@@ -1,0 +1,109 @@
+//! Determinism and distribution sanity for the schedule generators, plus the
+//! `Prefix` type the exhaustive explorer builds its frontier on.
+
+use aba_sim::schedule::{biased, bursty, random, round_robin, write_storm, Prefix};
+
+#[test]
+fn every_generator_is_deterministic_under_its_seed() {
+    assert_eq!(random(5, 400, 11), random(5, 400, 11));
+    assert_eq!(bursty(5, 400, 24, 11), bursty(5, 400, 24, 11));
+    assert_eq!(biased(5, 400, 1, 70, 11), biased(5, 400, 1, 70, 11));
+    // And genuinely seed-sensitive.
+    assert_ne!(random(5, 400, 11), random(5, 400, 12));
+    assert_ne!(bursty(5, 400, 24, 11), bursty(5, 400, 24, 12));
+    assert_ne!(biased(5, 400, 1, 70, 11), biased(5, 400, 1, 70, 12));
+}
+
+#[test]
+fn random_is_roughly_uniform() {
+    let n = 4;
+    let len = 4_000;
+    let s = random(n, len, 3);
+    for pid in 0..n {
+        let count = s.iter().filter(|&&p| p == pid).count();
+        // Expected 1000 per process; a 4-sigma band is ±~110.
+        assert!(
+            (850..=1150).contains(&count),
+            "process {pid} got {count} of {len} slots"
+        );
+    }
+}
+
+#[test]
+fn bursty_has_the_same_marginal_but_longer_runs_than_random() {
+    let n = 4;
+    let len = 4_000;
+    let b = bursty(n, len, 24, 3);
+    for pid in 0..n {
+        let count = b.iter().filter(|&&p| p == pid).count();
+        // Bursts are uniform over processes, so the marginal stays near
+        // uniform; the variance is higher, hence the wider band.
+        assert!(
+            (600..=1400).contains(&count),
+            "process {pid} got {count} of {len} slots"
+        );
+    }
+    let mean_run = |s: &[usize]| {
+        let runs = 1 + s.windows(2).filter(|w| w[0] != w[1]).count();
+        s.len() as f64 / runs as f64
+    };
+    let r = random(n, len, 3);
+    assert!(
+        mean_run(&b) > 2.0 * mean_run(&r),
+        "bursty runs ({:.2}) should be much longer than random's ({:.2})",
+        mean_run(&b),
+        mean_run(&r)
+    );
+}
+
+#[test]
+fn biased_share_tracks_the_requested_percentage() {
+    let len = 4_000;
+    for share in [10u32, 50, 90] {
+        let s = biased(5, len, 2, share, 9);
+        let got = s.iter().filter(|&&p| p == 2).count();
+        let want = len * share as usize / 100;
+        // ±5 percentage points of slack around the requested share.
+        assert!(
+            got.abs_diff(want) <= len / 20,
+            "share {share}%: victim got {got} of {len}"
+        );
+    }
+}
+
+#[test]
+fn write_storm_gives_every_non_reader_its_full_burst() {
+    let n = 5;
+    let s = write_storm(n, 2, 3, 4);
+    assert_eq!(s.len(), 3 * (1 + (n - 1) * 4));
+    assert_eq!(s.iter().filter(|&&p| p == 2).count(), 3);
+    for pid in [0, 1, 3, 4] {
+        assert_eq!(s.iter().filter(|&&p| p == pid).count(), 3 * 4);
+    }
+}
+
+#[test]
+fn round_robin_is_fair_to_the_slot() {
+    let s = round_robin(3, 3 * 7);
+    for pid in 0..3 {
+        assert_eq!(s.iter().filter(|&&p| p == pid).count(), 7);
+    }
+}
+
+#[test]
+fn prefix_grows_shrinks_and_replays_as_a_schedule() {
+    let mut p = Prefix::new();
+    assert!(p.is_empty());
+    p.push(2);
+    p.push(0);
+    p.push(1);
+    assert_eq!(p.len(), 3);
+    assert_eq!(p.as_slice(), &[2, 0, 1]);
+    assert_eq!(p.to_vec(), vec![2, 0, 1]);
+    assert_eq!(p.pop(), Some(1));
+    assert_eq!(p.as_slice(), &[2, 0]);
+    assert_eq!(p.pop(), Some(0));
+    assert_eq!(p.pop(), Some(2));
+    assert_eq!(p.pop(), None);
+    assert!(p.is_empty());
+}

@@ -21,7 +21,7 @@ fn report(algo: &dyn SimAlgorithm, trials: u64) {
     match search_weak_violation(algo, trials, 0xABA) {
         None => println!("no violation in {trials} random schedules"),
         Some(witness) => {
-            println!("VIOLATED (schedule seed {})", witness.seed);
+            println!("VIOLATED (schedule seed {})", witness.meta.seed);
             println!("    {}", witness.violation);
             println!("    history had {} operations", witness.history.len());
         }
