@@ -1,0 +1,102 @@
+//! `aba-analyze` — concurrency conformance linting for the workspace.
+//!
+//! The repo keeps its correctness-critical conventions in prose (DESIGN.md,
+//! review comments) and kept re-learning them the hard way.  This crate
+//! machine-checks them: a hand-rolled, comment- and string-aware Rust
+//! [`lexer`] feeds a registered [`rules`] roster (L1–L5) over every
+//! workspace `.rs` file, and [`lint_workspace`] rolls the findings up into a
+//! [`LintReport`] consumed by the `table_lint` binary and pinned by goldens.
+//!
+//! The companion *dynamic* check — the DPOR footprint-soundness auditor —
+//! lives in `aba-sim` (`aba_sim::audit`), next to the executor it shadows;
+//! `table_lint` runs both and gates CI on the union.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{classify, lint_source, FileClass, Finding, Rule, RULE_ROSTER};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Number of findings for one rule id.
+    pub fn count_for(&self, rule_id: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule_id).count()
+    }
+
+    /// `true` iff the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Directories (by component name) never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", ".github"];
+
+/// Collect every workspace `.rs` file under `root`, as workspace-relative
+/// `/`-separated paths, sorted.  Only the source trees the rules apply to
+/// are walked: `src/`, `crates/`, `examples/` and `tests/`; `target/`,
+/// `vendor/` (the dependency shims are not ours to lint) and VCS metadata
+/// are skipped.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["src", "crates", "examples", "tests"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every workspace `.rs` file under `root` against the full roster.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut report = LintReport::default();
+    for path in workspace_files(root) {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(&rel, &src));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}

@@ -1,0 +1,157 @@
+//! Conformance gate: static lint roster + dynamic DPOR footprint audit.
+//!
+//! Two pillars, one exit code:
+//!
+//! * **Static** — `aba_analyze::lint_workspace` walks every workspace `.rs`
+//!   file with the hand-rolled comment/string-aware lexer and enforces the
+//!   registered rule roster L1–L5 (orderings justified, `unsafe` forbidden,
+//!   determinism preserved, CAS retries bounded, the `Reclaimer`/`Guard`
+//!   surface documented).  See `DESIGN.md` §9 for the rationale.
+//! * **Dynamic** — `aba_sim::standard_family_audits` replays one protected
+//!   representative per algorithm family (register / queue / set / epoch)
+//!   under bursty schedules and a complete DPOR frontier with shadow-memory
+//!   recording on, diffing every executed step's *actual* (object, kind)
+//!   access against the *declared* footprint.  An under-report (actual not
+//!   covered by declared) would unsound the DPOR dependency relation — the
+//!   pruned class may contain the only ABA witness — so it is a hard
+//!   failure; over-reports (the failed-CAS write-intent downgrade) only cost
+//!   reduction and are merely counted.
+//!
+//! Run with `cargo run -p aba-bench --bin table_lint --release`.
+//! Flags: `--quick` (CI-sized audit bounds), `--out <path>` (JSON
+//! destination, default `BENCH_lint.json`, schema `aba-repro/lint/v1`).
+//!
+//! Exit status is the gate: non-zero if any lint finding exists, any family
+//! audit records an under-report, or either pillar audited nothing (a
+//! vacuity guard: zero files scanned / zero steps audited also fails).
+
+use std::path::Path;
+use std::time::Instant;
+
+use aba_analyze::{lint_workspace, RULE_ROSTER};
+use aba_bench::Table;
+use aba_sim::standard_family_audits;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_lint.json".to_string());
+
+    // The binary runs from anywhere inside the workspace; resolve the root
+    // from the crate manifest (crates/bench -> workspace root).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+
+    // --- Pillar A: static conformance lint ---------------------------------
+    eprintln!("lint: scanning workspace sources under {}", root.display());
+    let lint_start = Instant::now();
+    let report = lint_workspace(&root);
+    let lint_ms = lint_start.elapsed().as_millis();
+
+    let mut lint_table = Table::new(
+        &format!(
+            "Conformance lint ({} files, {lint_ms} ms)",
+            report.files_scanned
+        ),
+        &["rule", "name", "summary", "findings"],
+    );
+    for rule in RULE_ROSTER {
+        lint_table.row(&[
+            rule.id.to_string(),
+            rule.name.to_string(),
+            rule.summary.to_string(),
+            report.count_for(rule.id).to_string(),
+        ]);
+    }
+    println!("{}", lint_table.render());
+    for f in &report.findings {
+        println!("  {} {}:{} {}", f.rule, f.file, f.line, f.message);
+    }
+
+    // --- Pillar B: DPOR footprint-soundness audit --------------------------
+    eprintln!(
+        "audit: shadow-memory footprint diff over four families{}",
+        if quick { " (--quick bounds)" } else { "" }
+    );
+    let audit_start = Instant::now();
+    let verdicts = standard_family_audits(quick);
+    let audit_ms = audit_start.elapsed().as_millis();
+
+    let mut audit_table = Table::new(
+        &format!("DPOR footprint-soundness audit ({audit_ms} ms)"),
+        &[
+            "family/mode",
+            "schedules",
+            "steps audited",
+            "under-reports",
+            "over-reports",
+            "verdict",
+        ],
+    );
+    for v in &verdicts {
+        audit_table.row(&[
+            format!("{}/{}", v.family, v.mode),
+            v.schedules.to_string(),
+            v.steps_audited.to_string(),
+            v.under_reports.to_string(),
+            v.over_reports.to_string(),
+            if v.sound { "sound" } else { "UNSOUND" }.to_string(),
+        ]);
+    }
+    println!("{}", audit_table.render());
+    println!(
+        "Expected shape: zero lint findings (every relaxation, wall-clock read and unbounded \
+         CAS retry is either fixed or carries its justification comment) and zero under-reports \
+         (every executed access was covered by its declared footprint — the relation DPOR prunes \
+         by is conservative on this tree).  Over-reports are the deliberate failed-CAS \
+         write-intent downgrade and cost only reduction, never soundness."
+    );
+
+    // --- Gate --------------------------------------------------------------
+    let mut failures = Vec::new();
+    if report.files_scanned == 0 {
+        failures.push("lint scanned zero files — walker is broken".to_string());
+    }
+    for f in &report.findings {
+        failures.push(format!(
+            "lint {} {}:{} {}",
+            f.rule, f.file, f.line, f.message
+        ));
+    }
+    for v in &verdicts {
+        let name = format!("{}/{}", v.family, v.mode);
+        if v.steps_audited == 0 {
+            failures.push(format!("audit {name}: zero steps audited"));
+        }
+        if !v.sound {
+            failures.push(format!(
+                "audit {name}: {} footprint under-report(s) — DPOR soundness broken",
+                v.under_reports
+            ));
+        }
+    }
+
+    // --- JSON (schema aba-repro/lint/v1) -----------------------------------
+    let json = aba_bench::lint_json(quick, &report, &verdicts);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "wrote {out_path} ({} rules, {} audits)",
+        RULE_ROSTER.len(),
+        verdicts.len()
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("lint gate: {f}");
+        }
+        std::process::exit(1);
+    }
+}

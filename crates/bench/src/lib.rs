@@ -81,6 +81,75 @@ impl Table {
     }
 }
 
+/// Render the `BENCH_lint.json` document (schema `aba-repro/lint/v1`) from
+/// a static lint report and the dynamic family-audit verdicts.
+///
+/// Factored out of the `table_lint` binary so the golden tests can pin the
+/// exact key sets of a freshly produced document without re-running the
+/// (comparatively expensive) audits.
+pub fn lint_json(
+    quick: bool,
+    report: &aba_analyze::LintReport,
+    verdicts: &[aba_sim::AuditVerdict],
+) -> String {
+    use std::fmt::Write as _;
+
+    let mut json = String::from("{\"schema\":\"aba-repro/lint/v1\",\"quick\":");
+    let _ = write!(
+        json,
+        "{quick},\"files_scanned\":{},\"total_findings\":{},\"rules\":[",
+        report.files_scanned,
+        report.findings.len()
+    );
+    for (i, rule) in aba_analyze::RULE_ROSTER.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"id\":\"{}\",\"name\":\"{}\",\"summary\":\"{}\",\"findings\":{}}}",
+            rule.id,
+            rule.name,
+            rule.summary,
+            report.count_for(rule.id)
+        );
+    }
+    json.push_str("],\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            f.file,
+            f.line,
+            f.message.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    json.push_str("],\"audits\":[");
+    for (i, v) in verdicts.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"family\":\"{}\",\"mode\":\"{}\",\"schedules\":{},\"steps_audited\":{},\
+             \"under_reports\":{},\"over_reports\":{},\"sound\":{}}}",
+            v.family,
+            v.mode,
+            v.schedules,
+            v.steps_audited,
+            v.under_reports,
+            v.over_reports,
+            v.sound
+        );
+    }
+    json.push_str("]}");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

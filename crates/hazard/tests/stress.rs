@@ -111,7 +111,11 @@ fn protected_value_is_deferred_across_real_threads() {
         s.spawn(|| {
             let protector = domain.handle(0);
             protector.protect(VALUE);
+            // ordering: Release/Acquire handshake — the flag publishes the
+            // preceding protect(); SeqCst would only add a total order the
+            // test does not rely on.
             protected.store(true, Ordering::Release);
+            // ordering: pairs with the Release store of `released` below.
             while !released.load(Ordering::Acquire) {
                 std::thread::yield_now();
             }
@@ -119,6 +123,7 @@ fn protected_value_is_deferred_across_real_threads() {
         });
 
         let mut reclaimer = domain.handle(1);
+        // ordering: pairs with the Release store of `protected` above.
         while !protected.load(Ordering::Acquire) {
             std::thread::yield_now();
         }
@@ -128,6 +133,7 @@ fn protected_value_is_deferred_across_real_threads() {
         assert!(freed.is_empty(), "protected value must be deferred");
         assert_eq!(reclaimer.retired_len(), 1);
 
+        // ordering: publishes the flush/assert sequence to the protector.
         released.store(true, Ordering::Release);
         while domain.is_protected(VALUE) {
             std::thread::yield_now();

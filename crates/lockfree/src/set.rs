@@ -731,6 +731,8 @@ mod tests {
                 // a round count would translate into minutes.
                 let mut h = set.handle(0);
                 barrier.wait();
+                // determinism: wall-clock deadline is deliberate here (see
+                // the comment above); test-only, never in simulation code.
                 let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
                 while std::time::Instant::now() < deadline {
                     assert!(h.remove(20));

@@ -148,6 +148,9 @@ impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
                 self.guard.quiesce();
                 return true;
             }
+            // Lost the race: yield before retrying so the winning thread can
+            // finish publishing and the loop cannot monopolise a core.
+            std::thread::yield_now();
         }
     }
 
@@ -179,6 +182,8 @@ impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
                 self.guard.retire(head, |i| arena.free(i));
                 return Some(value);
             }
+            // Lost the race: yield before re-protecting the new head.
+            std::thread::yield_now();
         }
     }
 }

@@ -249,6 +249,29 @@ impl Simulation {
         }
     }
 
+    /// Schedule process `pid` for one step under footprint auditing: the
+    /// step's pre-declared footprint ([`Self::next_access`]) and post-hoc
+    /// declared footprint ([`StepOutcome::Stepped`]) are both diffed against
+    /// the shared memory's ground-truth [`ActualAccess`](crate::ActualAccess)
+    /// record by `auditor`.  Behaviourally identical to [`Self::step`] — the
+    /// audit only observes.
+    pub fn step_audited(
+        &mut self,
+        algo: &dyn SimAlgorithm,
+        pid: ProcessId,
+        auditor: &mut crate::audit::FootprintAuditor,
+    ) -> StepOutcome {
+        let predicted = self.next_access(algo, pid);
+        let before = self.memory.applied_ops();
+        let outcome = self.step(pid);
+        let actual = (self.memory.applied_ops() > before)
+            .then(|| self.memory.last_actual().expect("op was applied"));
+        if !matches!(outcome, StepOutcome::Idle) {
+            auditor.observe(pid, predicted, outcome.access(), actual);
+        }
+        outcome
+    }
+
     /// Run an explicit schedule (a sequence of process IDs); processes with
     /// nothing to do are skipped silently, matching the paper's convention
     /// that idle processes take no steps.

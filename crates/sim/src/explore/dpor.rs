@@ -319,6 +319,32 @@ pub fn explore_exhaustive(
     check: &mut dyn FnMut(&[ProcessId], &History, bool) -> bool,
     cfg: &DporConfig,
 ) -> ExplorationReport {
+    explore_inner(algo, make_sim, check, cfg, None)
+}
+
+/// [`explore_exhaustive`] with footprint auditing: every executed step's
+/// declared footprints (prediction and post-hoc) are diffed against the
+/// shadow memory's ground truth by `auditor` — the soundness check of the
+/// very footprints this explorer's dependency relation consumes.  The audit
+/// only observes; the exploration (classes, order, report) is identical to
+/// the unaudited run.
+pub fn explore_exhaustive_audited(
+    algo: &dyn SimAlgorithm,
+    make_sim: &mut dyn FnMut() -> Simulation,
+    check: &mut dyn FnMut(&[ProcessId], &History, bool) -> bool,
+    cfg: &DporConfig,
+    auditor: &mut crate::audit::FootprintAuditor,
+) -> ExplorationReport {
+    explore_inner(algo, make_sim, check, cfg, Some(auditor))
+}
+
+fn explore_inner(
+    algo: &dyn SimAlgorithm,
+    make_sim: &mut dyn FnMut() -> Simulation,
+    check: &mut dyn FnMut(&[ProcessId], &History, bool) -> bool,
+    cfg: &DporConfig,
+    mut audit: Option<&mut crate::audit::FootprintAuditor>,
+) -> ExplorationReport {
     let n = algo.n();
     let mut report = ExplorationReport::default();
     let root_sim = make_sim();
@@ -424,7 +450,10 @@ pub fn explore_exhaustive(
             Some(p) => {
                 top.choice = Some(p);
                 let mut sim = top.sim.clone();
-                let outcome = sim.step(p);
+                let outcome = match audit.as_deref_mut() {
+                    Some(auditor) => sim.step_audited(algo, p, auditor),
+                    None => sim.step(p),
+                };
                 debug_assert!(
                     !matches!(outcome, StepOutcome::Idle),
                     "scheduled a process with no work"

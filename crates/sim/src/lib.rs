@@ -38,16 +38,22 @@
 
 pub mod algorithm;
 pub mod algorithms;
+pub mod audit;
 pub mod executor;
 pub mod explore;
 pub mod object;
 pub mod schedule;
 
 pub use algorithm::{MethodCall, MethodResponse, SimAlgorithm, SimProcess};
+pub use audit::{
+    audit_bursty, audit_family, standard_family_audits, AuditConfig, AuditVerdict, BurstyParams,
+    FootprintAuditor, UnderReport, UnderReportKind,
+};
 pub use executor::{Simulation, StepOutcome};
 pub use explore::dpor::{
-    explore_exhaustive, explore_queue_exhaustive, explore_register_exhaustive,
-    explore_set_exhaustive, DporConfig, DporWitness, ExplorationReport,
+    explore_exhaustive, explore_exhaustive_audited, explore_queue_exhaustive,
+    explore_register_exhaustive, explore_set_exhaustive, DporConfig, DporWitness,
+    ExplorationReport,
 };
 pub use explore::{
     measure_llsc_worst_case, measure_register_worst_case, minimize_violation_schedule,
@@ -56,4 +62,6 @@ pub use explore::{
     seed_set_workload, QueueViolationWitness, QueueWorkloadOutcome, SetViolationWitness, StepStats,
     ViolationWitness, WitnessMeta, SET_SEARCH_ROUNDS,
 };
-pub use object::{BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepAccess, StepResult};
+pub use object::{
+    ActualAccess, BaseObject, BaseOp, ObjId, ObjectKind, SharedMemory, StepAccess, StepResult,
+};

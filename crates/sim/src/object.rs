@@ -176,16 +176,58 @@ pub enum StepResult {
     },
 }
 
+/// The *ground-truth* footprint of one executed step, recorded by the shared
+/// memory itself when it applies the operation.
+///
+/// This is the footprint-soundness auditor's shadow record: unlike
+/// [`StepAccess`], which is *declared* by a step machine (predictively via
+/// `poised`/`first_step`, post hoc via the executor's CAS downgrade), an
+/// `ActualAccess` is produced by [`SharedMemory::apply`] from what actually
+/// happened — which object was touched and whether a state-changing
+/// operation landed on it (a plain write, or a CAS that succeeded).  The
+/// auditor diffs declared against actual; any under-report unsounds the
+/// DPOR reduction's dependency relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActualAccess {
+    /// The base object the applied operation touched.
+    pub obj: ObjId,
+    /// `true` iff the operation mutated the object: a write (even of the
+    /// current value — it is still a mutation step) or a successful CAS.
+    /// A read or a failed CAS observed but did not change the object.
+    pub mutated: bool,
+}
+
 /// The shared memory: the ordered collection of base objects.
 #[derive(Debug, Clone, Default)]
 pub struct SharedMemory {
     objects: Vec<BaseObject>,
+    /// Count of operations applied so far (the shadow memory's clock).
+    applied_ops: u64,
+    /// Ground-truth footprint of the most recently applied operation.
+    last_actual: Option<ActualAccess>,
 }
 
 impl SharedMemory {
     /// Memory with the given base objects.
     pub fn new(objects: Vec<BaseObject>) -> Self {
-        SharedMemory { objects }
+        SharedMemory {
+            objects,
+            applied_ops: 0,
+            last_actual: None,
+        }
+    }
+
+    /// Total operations applied so far.  Together with [`Self::last_actual`]
+    /// this lets an auditor tell "no operation ran" apart from "the previous
+    /// operation's record is still current".
+    pub fn applied_ops(&self) -> u64 {
+        self.applied_ops
+    }
+
+    /// The ground-truth footprint of the most recently applied operation,
+    /// `None` before the first one.
+    pub fn last_actual(&self) -> Option<ActualAccess> {
+        self.last_actual
     }
 
     /// Number of base objects (`m` in the paper's bounds).
@@ -216,6 +258,20 @@ impl SharedMemory {
     /// supported by the object's kind (e.g. `Write` on a plain CAS object) —
     /// both indicate a bug in a simulated algorithm, not a runtime condition.
     pub fn apply(&mut self, op: BaseOp) -> StepResult {
+        let result = self.apply_inner(op);
+        self.applied_ops += 1;
+        self.last_actual = Some(ActualAccess {
+            obj: op.object(),
+            mutated: match result {
+                StepResult::Value(_) => false,
+                StepResult::Written => true,
+                StepResult::CasOutcome { success, .. } => success,
+            },
+        });
+        result
+    }
+
+    fn apply_inner(&mut self, op: BaseOp) -> StepResult {
         match op {
             BaseOp::Read(id) => StepResult::Value(self.objects[id].value),
             BaseOp::Write(id, v) => {
@@ -334,6 +390,51 @@ mod tests {
         assert!(BaseOp::Cas(0, 1, 2).is_cas());
         assert!(!BaseOp::Read(0).is_mutating());
         assert_eq!(BaseOp::Cas(3, 0, 0).object(), 3);
+    }
+
+    #[test]
+    fn shadow_memory_records_ground_truth_footprints() {
+        let mut m = SharedMemory::new(vec![BaseObject::writable_cas(0)]);
+        assert_eq!(m.applied_ops(), 0);
+        assert_eq!(m.last_actual(), None);
+        m.apply(BaseOp::Read(0));
+        assert_eq!(
+            m.last_actual(),
+            Some(ActualAccess {
+                obj: 0,
+                mutated: false
+            })
+        );
+        m.apply(BaseOp::Write(0, 5));
+        assert_eq!(
+            m.last_actual(),
+            Some(ActualAccess {
+                obj: 0,
+                mutated: true
+            })
+        );
+        // A failed CAS observed but did not mutate — the ground truth the
+        // executor's post-hoc downgrade must agree with.
+        m.apply(BaseOp::Cas(0, 99, 1));
+        assert_eq!(
+            m.last_actual(),
+            Some(ActualAccess {
+                obj: 0,
+                mutated: false
+            })
+        );
+        m.apply(BaseOp::Cas(0, 5, 1));
+        assert_eq!(
+            m.last_actual(),
+            Some(ActualAccess {
+                obj: 0,
+                mutated: true
+            })
+        );
+        // Writing the value already held is still a mutation step.
+        m.apply(BaseOp::Write(0, 1));
+        assert!(m.last_actual().unwrap().mutated);
+        assert_eq!(m.applied_ops(), 5);
     }
 
     #[test]

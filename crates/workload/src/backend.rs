@@ -119,8 +119,8 @@ impl WorkloadOps for LlScOps<'_> {
     }
 
     fn write(&mut self, value: u32) {
-        // Lock-free retry: an SC fails only because some other SC succeeded,
-        // so with finitely many competing operations this loop terminates.
+        // retry-bound: an SC fails only because some other SC succeeded, so
+        // with finitely many competing operations this loop terminates.
         loop {
             self.handle.ll();
             if self.handle.sc(value) {
@@ -130,6 +130,8 @@ impl WorkloadOps for LlScOps<'_> {
     }
 
     fn rmw(&mut self, value: u32) {
+        // retry-bound: same argument as `write` — each SC failure implies
+        // another SC's success, so the retry chain is finite.
         loop {
             let old = self.handle.ll();
             if self.handle.sc(old.wrapping_add(value)) {

@@ -22,7 +22,12 @@
 //!   reclamation scheme, plus the event-signal scenario;
 //! * [`workload`] — the multi-threaded workload engine (experiments
 //!   E7–E10): scenario × backend × thread-count throughput, latency and
-//!   peak-unreclaimed matrix.
+//!   peak-unreclaimed matrix;
+//! * [`analyze`] — the conformance linter: a hand-rolled comment/string-aware
+//!   Rust lexer enforcing the registered rule roster L1–L5 over every
+//!   workspace source file (the static half of the `table_lint` gate; the
+//!   dynamic half, the DPOR footprint-soundness auditor, lives in
+//!   [`sim`](aba_sim::audit)).
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use aba_analyze as analyze;
 pub use aba_core as core;
 pub use aba_hazard as hazard;
 pub use aba_lockfree as lockfree;

@@ -167,6 +167,8 @@ fn event_signal_under_concurrent_pulses() {
                 signaler.signal();
                 signaler.reset();
             }
+            // ordering: Release publishes the completed pulse train to the
+            // waiter's Acquire load; no total order is needed.
             done.store(true, Ordering::Release);
         });
         s.spawn(|| {
@@ -175,6 +177,7 @@ fn event_signal_under_concurrent_pulses() {
             // Poll for the whole pulse train, then once more: the final poll
             // runs after the last write, so it must report the change unless
             // an earlier poll already consumed it.
+            // ordering: pairs with the signaler's Release store of `done`.
             while !done.load(Ordering::Acquire) {
                 if waiter.poll() {
                     observed += 1;
