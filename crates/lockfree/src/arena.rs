@@ -1,4 +1,4 @@
-//! A preallocated node arena with index-based links.
+//! A segmented, growable node arena with index-based links.
 //!
 //! The lock-free structures in this crate identify nodes by *arena index*
 //! rather than by raw pointer.  This keeps the whole repository free of
@@ -8,111 +8,374 @@
 //! unsafe (the paper's §1 motivation and [19, 20, 23, 24, 31]).
 //!
 //! Every node carries a *generation* counter that is bumped on every
-//! allocation; the unprotected stack uses it to count, after the fact, how
-//! many of its successful CASes actually acted on a recycled node (an "ABA
-//! event").
+//! allocation; the unprotected structures use it to count, after the fact,
+//! how many of their successful CASes actually acted on a recycled node (an
+//! "ABA event").
+//!
+//! # Segmented index encoding
+//!
+//! The arena is a **fixed root table of segment slots**; each slot is
+//! published at most once with a freshly allocated block of nodes.  An index
+//! is
+//!
+//! ```text
+//! index = segment << SEG_SHIFT | offset        (offset < 2^SEG_SHIFT)
+//! ```
+//!
+//! so the arena can *grow* — publish further segments on demand — without
+//! moving a single existing node and without changing the meaning of any
+//! index already stored in a link word.  The index domain is deliberately
+//! kept strictly inside the 32-bit index field every `aba-reclaim` link-word
+//! encoding uses (bare words keep the index in the low 32 bits with
+//! `0xFFFF_FFFF` as nil and the mark in bit 32; `TagWord` and the LL/SC
+//! words carry a `u32` value field with `u32::MAX` as nil) — see the
+//! `index_budget_fits_every_link_word_encoding` test and DESIGN.md §10.
+//!
+//! Publication is lock-free in the only sense that matters here: the slot is
+//! a one-shot cell and exactly one of the racing publishers wins it (the
+//! losers' freshly built segments are dropped, a bounded waste); nobody ever
+//! *unpublishes*, so a reader that obtained an index can always reach its
+//! node.  The free list itself remains a mutex-protected vector: it is
+//! harness infrastructure, not the structure under test, and keeping it
+//! trivially correct means every anomaly observed in the experiments is
+//! attributable to the structure's own link-word CASes.
+//!
+//! # Cache-line padding
+//!
+//! Every node is padded to its own 64-byte cache line, and the arena's hot
+//! words (the free-list mutex, the published-segment counter and the
+//! live-capacity gauge) each get a private line as well: with nodes packed
+//! densely, a CAS on one node's link word invalidated its neighbours' lines
+//! and the measured cost of a protection scheme was polluted by false
+//! sharing (first bite of the ROADMAP's false-sharing audit; the
+//! `node_layout_is_cache_line_padded` test pins the layout).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Index value meaning "null".  (Identical to `aba_reclaim::NIL`: the
 /// reclamation schemes and the arena agree on the decoded-index domain.)
 pub const NIL: u64 = u64::MAX;
 
+/// Bits of an index that address the offset *within* a segment; the bits
+/// above select the root-table slot.
+pub const SEG_SHIFT: u32 = 16;
+
+/// Nodes per fully-sized segment.
+const SEG_CAPACITY: usize = 1 << SEG_SHIFT;
+
+/// Root-table slots.  Fixed at construction — growing the arena publishes a
+/// slot, it never reallocates the table (that is what keeps concurrent
+/// readers safe without any synchronisation beyond the slot itself).
+pub const MAX_SEGMENTS: usize = 256;
+
+const OFF_MASK: u64 = (1 << SEG_SHIFT) - 1;
+
+/// Largest index the segmented encoding can produce.  The compile-time
+/// assertion is the bit-budget audit demanded by the larger index domain:
+/// every link-word encoding in `aba-reclaim` stores indices in a 32-bit
+/// field whose all-ones pattern is reserved for nil.
+const MAX_INDEX: u64 = ((MAX_SEGMENTS as u64) << SEG_SHIFT) - 1;
+const _: () = assert!(
+    MAX_INDEX < u32::MAX as u64,
+    "segmented indices must stay inside every 32-bit link-word index field"
+);
+
+/// A value padded (and aligned) to a private 64-byte cache line, so updates
+/// to one hot word never invalidate a neighbouring one.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CacheAligned<T>(pub(crate) T);
+
+/// One arena node, padded to a full cache line (see the module docs).
 #[derive(Debug)]
+#[repr(align(64))]
 struct Node {
     value: AtomicU64,
     next: AtomicU64,
     generation: AtomicU64,
 }
 
-/// A fixed-capacity arena of nodes with an internal free list.
+impl Node {
+    fn fresh() -> Self {
+        Node {
+            value: AtomicU64::new(0),
+            next: AtomicU64::new(NIL),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Outcome of one attempt to publish the next planned segment.
+enum Publish {
+    /// This thread won the slot and refilled the free list.
+    Won,
+    /// Another thread won the same slot; its indices are (about to be)
+    /// in the free list.
+    Lost,
+    /// Every planned segment is already published.
+    Exhausted,
+}
+
+/// A segmented arena of nodes with an internal free list.
 ///
-/// The free list itself is a mutex-protected vector: it is harness
-/// infrastructure, not the structure under test, and keeping it trivially
-/// correct means every anomaly observed in the experiments is attributable to
-/// the stack's head-pointer CAS.
+/// Construct with [`NodeArena::new`] for the classic fixed-capacity arena
+/// (every segment published up front — the behaviour every experiment relies
+/// on for exact exhaustion semantics), or with [`NodeArena::growable`] for an
+/// arena that starts small and publishes further segments the first time
+/// allocation finds the free list empty.
 #[derive(Debug)]
 pub struct NodeArena {
-    nodes: Vec<Node>,
-    free: Mutex<Vec<u64>>,
+    /// The fixed root table.  `segments[s]`, once published, holds exactly
+    /// `plan[s]` nodes forever.
+    segments: Vec<OnceLock<Box<[Node]>>>,
+    /// Planned length of every segment; `plan.iter().sum()` is the maximum
+    /// capacity the arena can ever reach.
+    plan: Vec<usize>,
+    /// Number of leading `segments` slots already published.
+    published: CacheAligned<AtomicUsize>,
+    /// Sum of the published segments' lengths — the *live* capacity.
+    live: CacheAligned<AtomicUsize>,
+    /// Nodes published at construction time (segment 0, or all of them for a
+    /// bounded arena).
+    initial: usize,
+    /// LIFO free list: the most recently freed index is handed out first,
+    /// which maximises recycling pressure (and therefore ABA likelihood).
+    free: CacheAligned<Mutex<Vec<u64>>>,
+}
+
+/// Split `total` nodes into maximal full segments plus a remainder.
+fn bounded_plan(total: usize) -> Vec<usize> {
+    let mut plan = Vec::new();
+    let mut left = total;
+    while left > 0 {
+        let take = left.min(SEG_CAPACITY);
+        plan.push(take);
+        left -= take;
+    }
+    plan
+}
+
+/// Segment plan for a growable arena: the initial block, then
+/// capacity-doubling growth segments (each publication doubles the live
+/// capacity until segments saturate at [`SEG_CAPACITY`]), truncated to land
+/// exactly on `max`.
+fn growable_plan(initial: usize, max: usize) -> Vec<usize> {
+    let mut plan = bounded_plan(initial);
+    let mut total = initial;
+    while total < max {
+        let take = total.min(SEG_CAPACITY).min(max - total);
+        plan.push(take);
+        total += take;
+    }
+    plan
 }
 
 impl NodeArena {
-    /// An arena with `capacity` nodes, all initially free.
+    /// An arena with `capacity` nodes, all published and free from the
+    /// start: allocation fails exactly when `capacity` nodes are live, the
+    /// invariant every conservation experiment counts on.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0` or the capacity exceeds the segmented index
+    /// budget.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
-        let nodes = (0..capacity)
-            .map(|_| Node {
-                value: AtomicU64::new(0),
-                next: AtomicU64::new(NIL),
-                generation: AtomicU64::new(0),
-            })
-            .collect();
-        // LIFO free list: the most recently freed index is handed out first,
-        // which maximises recycling pressure (and therefore ABA likelihood).
-        let free = (0..capacity as u64).rev().collect();
-        NodeArena {
-            nodes,
-            free: Mutex::new(free),
+        Self::with_plan(bounded_plan(capacity), usize::MAX)
+    }
+
+    /// An arena that starts with `initial` published nodes and grows on
+    /// demand — by publishing one planned segment at a time — up to
+    /// `max_capacity` total nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial == 0`, `max_capacity < initial`, or the plan
+    /// exceeds the segmented index budget.
+    pub fn growable(initial: usize, max_capacity: usize) -> Self {
+        assert!(
+            initial <= max_capacity,
+            "initial capacity exceeds max capacity"
+        );
+        Self::with_plan(growable_plan(initial, max_capacity), initial)
+    }
+
+    fn with_plan(plan: Vec<usize>, publish_up_to: usize) -> Self {
+        let total: usize = plan.iter().sum();
+        assert!(total > 0, "capacity must be positive");
+        assert!(
+            plan.len() <= MAX_SEGMENTS,
+            "capacity too large for the segmented index budget"
+        );
+        let arena = NodeArena {
+            segments: (0..plan.len()).map(|_| OnceLock::new()).collect(),
+            plan,
+            published: CacheAligned(AtomicUsize::new(0)),
+            live: CacheAligned(AtomicUsize::new(0)),
+            initial: 0,
+            free: CacheAligned(Mutex::new(Vec::new())),
+        };
+        let mut arena = arena;
+        let mut published_nodes = 0;
+        while published_nodes < publish_up_to {
+            match arena.publish_next() {
+                Publish::Won => published_nodes = arena.live_capacity(),
+                Publish::Lost => unreachable!("construction is single-threaded"),
+                Publish::Exhausted => break,
+            }
+        }
+        arena.initial = published_nodes;
+        arena
+    }
+
+    /// Maximum number of nodes the arena can ever hold (the sum of every
+    /// planned segment, published or not).  For an arena built with
+    /// [`NodeArena::new`] this is the classic fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.plan.iter().sum()
+    }
+
+    /// Number of nodes currently backed by published segments.  This is the
+    /// **live capacity** the reclamation schemes size their behaviour
+    /// against (`retry_bound`, eager-scan and epoch-advance triggers): a
+    /// growable arena's guards must track what exists, not what might.
+    pub fn live_capacity(&self) -> usize {
+        self.live.0.load(Ordering::SeqCst)
+    }
+
+    /// Nodes published at construction time (for a bounded arena, all of
+    /// them — `initial_capacity() == capacity()`).
+    pub fn initial_capacity(&self) -> usize {
+        self.initial
+    }
+
+    /// Number of currently free nodes among the published segments.
+    pub fn free_len(&self) -> usize {
+        self.free.0.lock().expect("arena lock poisoned").len()
+    }
+
+    fn node(&self, idx: u64) -> &Node {
+        let seg = (idx >> SEG_SHIFT) as usize;
+        let off = (idx & OFF_MASK) as usize;
+        let nodes = self.segments[seg].get().expect("bad index");
+        &nodes[off]
+    }
+
+    /// Whether `idx` designates a node in a published segment.
+    fn contains(&self, idx: u64) -> bool {
+        if idx == NIL || idx > MAX_INDEX {
+            return false;
+        }
+        let seg = (idx >> SEG_SHIFT) as usize;
+        let off = (idx & OFF_MASK) as usize;
+        seg < self.segments.len()
+            && self.segments[seg]
+                .get()
+                .is_some_and(|nodes| off < nodes.len())
+    }
+
+    /// Try to publish the next planned segment into its root-table slot.
+    /// Exactly one of the racing publishers wins the one-shot cell; only the
+    /// winner pushes the fresh indices onto the free list (so no index is
+    /// ever offered twice) and only the winner advances the published
+    /// counter (so slots fill strictly in order).
+    fn publish_next(&self) -> Publish {
+        let s = self.published.0.load(Ordering::SeqCst);
+        if s == self.plan.len() {
+            return Publish::Exhausted;
+        }
+        let len = self.plan[s];
+        let fresh: Box<[Node]> = (0..len).map(|_| Node::fresh()).collect();
+        match self.segments[s].set(fresh) {
+            Ok(()) => {
+                let base = (s as u64) << SEG_SHIFT;
+                {
+                    let mut free = self.free.0.lock().expect("arena lock poisoned");
+                    // Reversed push keeps the historical pop order (offset 0
+                    // first) within the fresh segment.
+                    for off in (0..len as u64).rev() {
+                        free.push(base | off);
+                    }
+                }
+                self.live.0.fetch_add(len, Ordering::SeqCst);
+                self.published.0.store(s + 1, Ordering::SeqCst);
+                Publish::Won
+            }
+            Err(_) => Publish::Lost,
         }
     }
 
-    /// Total number of nodes.
-    pub fn capacity(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Number of currently free nodes.
-    pub fn free_len(&self) -> usize {
-        self.free.lock().expect("arena lock poisoned").len()
-    }
-
-    /// Allocate a node, bumping its generation.  Returns `None` when the
-    /// arena is exhausted.
+    /// Allocate a node, bumping its generation.  When the free list is empty
+    /// the arena *grows* — publishes the next planned segment — and only
+    /// reports exhaustion (`None`) once every planned segment is published
+    /// and empty-handed.
     pub fn alloc(&self) -> Option<u64> {
-        let idx = self.free.lock().expect("arena lock poisoned").pop()?;
-        self.nodes[idx as usize]
-            .generation
-            .fetch_add(1, Ordering::SeqCst);
-        Some(idx)
+        // retry-bound: every round either returns an index, publishes one of
+        // the finitely many planned segments, or yields to the thread whose
+        // in-flight publication is about to refill the free list.
+        loop {
+            if let Some(idx) = self.free.0.lock().expect("arena lock poisoned").pop() {
+                self.node(idx).generation.fetch_add(1, Ordering::SeqCst);
+                return Some(idx);
+            }
+            match self.publish_next() {
+                Publish::Won => {}
+                Publish::Lost => std::thread::yield_now(),
+                Publish::Exhausted => return None,
+            }
+        }
     }
 
     /// Return a node to the free list.
     ///
-    /// The broken (unprotected) stack may double-free a node after an ABA; to
-    /// keep the experiment observable rather than panicking, double frees are
-    /// tolerated (the duplicate entry shows up as value duplication in the
-    /// conservation check).
+    /// The broken (unprotected) structures may double-free a node after an
+    /// ABA; to keep the experiment observable rather than panicking, double
+    /// frees are tolerated (the duplicate entry shows up as value
+    /// duplication in the conservation check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is `NIL` or outside the published segments.
     pub fn free(&self, idx: u64) {
-        assert!(idx != NIL && (idx as usize) < self.nodes.len(), "bad index");
-        self.free.lock().expect("arena lock poisoned").push(idx);
+        assert!(self.contains(idx), "bad index");
+        self.free.0.lock().expect("arena lock poisoned").push(idx);
     }
 
-    /// Read the value stored in a node.
+    /// Read the value stored in a node (the low half of the value word).
     pub fn value(&self, idx: u64) -> u32 {
-        self.nodes[idx as usize].value.load(Ordering::SeqCst) as u32
+        self.node(idx).value.load(Ordering::SeqCst) as u32
     }
 
-    /// Store a value into a node.
+    /// Store a value into a node.  Clears the auxiliary [`data`] half — the
+    /// stack/queue/set families use only this accessor and carry no data.
+    ///
+    /// [`data`]: NodeArena::data
     pub fn set_value(&self, idx: u64, value: u32) {
-        self.nodes[idx as usize]
-            .value
-            .store(value as u64, Ordering::SeqCst);
+        self.node(idx).value.store(value as u64, Ordering::SeqCst);
+    }
+
+    /// Read the auxiliary data stored next to a node's value (the high half
+    /// of the value word) — the mapped value of a hash-map node, whose low
+    /// half holds the split-order key.
+    pub fn data(&self, idx: u64) -> u32 {
+        (self.node(idx).value.load(Ordering::SeqCst) >> 32) as u32
+    }
+
+    /// Store a node's value and auxiliary data in one atomic write, so a
+    /// concurrent reader never observes a torn (value, data) pair.
+    pub fn set_value_data(&self, idx: u64, value: u32, data: u32) {
+        let word = ((data as u64) << 32) | value as u64;
+        self.node(idx).value.store(word, Ordering::SeqCst);
     }
 
     /// Read a node's next link.
     pub fn next(&self, idx: u64) -> u64 {
-        self.nodes[idx as usize].next.load(Ordering::SeqCst)
+        self.node(idx).next.load(Ordering::SeqCst)
     }
 
     /// Store a node's next link.
     pub fn set_next(&self, idx: u64, next: u64) {
-        self.nodes[idx as usize].next.store(next, Ordering::SeqCst);
+        self.node(idx).next.store(next, Ordering::SeqCst);
     }
 
     /// The next-link word of a node, as the raw atomic.  The generic
@@ -120,12 +383,12 @@ impl NodeArena {
     /// *encoding* (bare index, or `(index, tag)` for the tagging scheme) —
     /// the arena itself stays encoding-agnostic.
     pub fn next_word(&self, idx: u64) -> &AtomicU64 {
-        &self.nodes[idx as usize].next
+        &self.node(idx).next
     }
 
     /// Read a node's generation counter.
     pub fn generation(&self, idx: u64) -> u64 {
-        self.nodes[idx as usize].generation.load(Ordering::SeqCst)
+        self.node(idx).generation.load(Ordering::SeqCst)
     }
 }
 
@@ -168,6 +431,19 @@ mod tests {
     }
 
     #[test]
+    fn value_and_data_pack_into_one_word() {
+        let arena = NodeArena::new(1);
+        let idx = arena.alloc().unwrap();
+        arena.set_value_data(idx, 0xAAAA_0001, 0x5555_0002);
+        assert_eq!(arena.value(idx), 0xAAAA_0001);
+        assert_eq!(arena.data(idx), 0x5555_0002);
+        // A plain set_value clears the data half (single-word semantics).
+        arena.set_value(idx, 9);
+        assert_eq!(arena.value(idx), 9);
+        assert_eq!(arena.data(idx), 0);
+    }
+
+    #[test]
     fn lifo_reuse_maximises_recycling() {
         let arena = NodeArena::new(4);
         let a = arena.alloc().unwrap();
@@ -193,6 +469,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "bad index")]
+    fn freeing_an_unpublished_index_panics() {
+        let arena = NodeArena::growable(2, 64);
+        // Segment 1 exists in the plan but is not published yet.
+        arena.free(1u64 << SEG_SHIFT);
+    }
+
+    #[test]
     fn next_word_exposes_the_same_atomic_as_the_accessors() {
         let arena = NodeArena::new(2);
         let idx = arena.alloc().unwrap();
@@ -200,5 +484,137 @@ mod tests {
         assert_eq!(arena.next_word(idx).load(Ordering::SeqCst), 7);
         arena.next_word(idx).store(NIL, Ordering::SeqCst);
         assert_eq!(arena.next(idx), NIL);
+    }
+
+    #[test]
+    fn bounded_arena_is_fully_published_up_front() {
+        let arena = NodeArena::new(10);
+        assert_eq!(arena.capacity(), 10);
+        assert_eq!(arena.live_capacity(), 10);
+        assert_eq!(arena.initial_capacity(), 10);
+        assert_eq!(arena.free_len(), 10);
+    }
+
+    #[test]
+    fn growable_arena_grows_through_segment_publication() {
+        let arena = NodeArena::growable(2, 11);
+        assert_eq!(arena.capacity(), 11);
+        assert_eq!(arena.live_capacity(), 2);
+        assert_eq!(arena.initial_capacity(), 2);
+        let mut held = Vec::new();
+        for i in 0..11 {
+            let idx = arena.alloc().unwrap_or_else(|| panic!("alloc {i} failed"));
+            held.push(idx);
+        }
+        assert_eq!(arena.live_capacity(), 11, "growth served all 11 nodes");
+        assert!(arena.alloc().is_none(), "the plan is exhausted");
+        for idx in held {
+            arena.free(idx);
+        }
+        assert_eq!(arena.free_len(), 11);
+    }
+
+    #[test]
+    fn growth_doubles_live_capacity_per_publication() {
+        let arena = NodeArena::growable(4, 64);
+        let mut observed = vec![arena.live_capacity()];
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            held.push(arena.alloc().unwrap());
+            let live = arena.live_capacity();
+            if *observed.last().unwrap() != live {
+                observed.push(live);
+            }
+        }
+        assert_eq!(observed, vec![4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn segmented_indices_are_decodable_across_segments() {
+        let arena = NodeArena::growable(2, 8);
+        let mut held = Vec::new();
+        for _ in 0..8 {
+            held.push(arena.alloc().unwrap());
+        }
+        // Indices from later segments carry the segment in the high bits.
+        assert!(held.iter().any(|&idx| idx >> SEG_SHIFT > 0));
+        for (i, &idx) in held.iter().enumerate() {
+            arena.set_value(idx, i as u32);
+        }
+        for (i, &idx) in held.iter().enumerate() {
+            assert_eq!(arena.value(idx), i as u32, "index {idx:#x}");
+        }
+    }
+
+    #[test]
+    fn index_budget_fits_every_link_word_encoding() {
+        // The audit the larger index domain demands: the maximum encodable
+        // index must stay strictly below every 32-bit nil pattern —
+        // 0xFFFF_FFFF for bare link words, `u32::MAX` for `TagWord` value
+        // fields and LL/SC words — and bit 32 (the bare-word mark bit) must
+        // never be set by an index.
+        assert!(MAX_INDEX < u32::MAX as u64);
+        assert_eq!(MAX_INDEX >> 32, 0, "indices never touch the mark bit");
+        // A full plan actually reaches the advertised budget.
+        assert_eq!(MAX_SEGMENTS * SEG_CAPACITY, (MAX_INDEX + 1) as usize);
+    }
+
+    #[test]
+    fn node_layout_is_cache_line_padded() {
+        // The false-sharing regression pin: one node (three u64 atomics)
+        // owns one whole 64-byte line, and the hot-word wrapper pads any
+        // word it is given to a line of its own.
+        assert_eq!(std::mem::size_of::<Node>(), 64);
+        assert_eq!(std::mem::align_of::<Node>(), 64);
+        assert_eq!(std::mem::size_of::<CacheAligned<AtomicUsize>>(), 64);
+        assert_eq!(std::mem::align_of::<CacheAligned<AtomicUsize>>(), 64);
+    }
+
+    #[test]
+    fn concurrent_allocation_grows_without_losing_or_duplicating_indices() {
+        use std::collections::HashSet;
+        use std::sync::Barrier;
+
+        // Four threads each hold 32 live nodes at once out of an arena that
+        // starts with 8: allocation must fall through to (racing) segment
+        // publication, and every handed-out index must be unique.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 32;
+        let arena = NodeArena::growable(8, THREADS * PER_THREAD);
+        let barrier = Barrier::new(THREADS);
+        let per_thread: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let arena = &arena;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut held = Vec::new();
+                        while held.len() < PER_THREAD {
+                            match arena.alloc() {
+                                Some(idx) => held.push(idx),
+                                None => std::thread::yield_now(),
+                            }
+                        }
+                        held
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("allocator thread panicked"))
+                .collect()
+        });
+        let all: Vec<u64> = per_thread.into_iter().flatten().collect();
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(all.len(), THREADS * PER_THREAD);
+        assert_eq!(unique.len(), all.len(), "an index was handed out twice");
+        assert!(
+            arena.live_capacity() > arena.initial_capacity(),
+            "concurrent churn must have published beyond the initial segment"
+        );
+        for idx in all {
+            arena.free(idx);
+        }
     }
 }

@@ -14,12 +14,15 @@
 //!   the same arena with the same five protection strategies (traversals
 //!   hold references deep inside the chain — the hardest ABA surface),
 //!   experiment E10;
+//! * [`map`] — **one** generic split-ordered (Shalev–Shavit) hash map built
+//!   on the Harris–Michael substrate, with a growable bucket table and the
+//!   same five protection strategies, experiment E13;
 //! * [`stress`] — the multi-threaded stress harnesses and value-conservation
 //!   checks that quantify ABA damage;
 //! * [`event`] — the busy-wait / reset event-signalling scenario from §1,
 //!   built on ABA-detecting registers;
-//! * [`arena`] — the index-based node arena the structures share (no
-//!   `unsafe` anywhere in the repository).
+//! * [`arena`] — the segmented, growable index-based node arena the
+//!   structures share (no `unsafe` anywhere in the repository).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@
 
 pub mod arena;
 pub mod event;
+pub mod map;
 pub mod queue;
 pub mod set;
 pub mod stack;
@@ -44,6 +48,9 @@ pub(crate) fn preemption_window() {
     std::thread::yield_now();
 }
 pub use event::{EventSignal, NaiveEventSignal, Signaler, Waiter};
+pub use map::{
+    EpochMap, GenericMap, HazardMap, LlScMap, Map, MapHandle, TaggedMap, UnprotectedMap,
+};
 pub use queue::{
     EpochQueue, GenericQueue, HazardQueue, LlScQueue, Queue, QueueHandle, TaggedQueue,
     UnprotectedQueue,
@@ -56,7 +63,8 @@ pub use stack::{
     UnprotectedStack,
 };
 pub use stress::{
-    stress_queue, stress_set, stress_stack, QueueStressReport, SetStressReport, StressReport,
+    conservation_capacity, stress_map, stress_queue, stress_set, stress_stack, MapStressReport,
+    QueueStressReport, SetStressReport, StressReport,
 };
 
 /// A named constructor for one stack variant: `(capacity, threads) -> stack`.
@@ -187,6 +195,48 @@ pub fn all_sets(capacity: usize, threads: usize) -> Vec<Box<dyn Set>> {
         .collect()
 }
 
+/// A named constructor for one split-ordered-map variant:
+/// `(capacity, threads) -> map`, mirroring [`StackBuilder`].
+pub type MapBuilder = Box<dyn Fn(usize, usize) -> Box<dyn Map> + Send + Sync>;
+
+/// Named builders for the standard roster of split-ordered hash-map
+/// variants, in E13 display order.  The names are stable registry keys
+/// (used in experiment tables and `BENCH_map.json`), mirroring
+/// [`stack_builders`].
+pub fn map_builders() -> Vec<(&'static str, MapBuilder)> {
+    vec![
+        (
+            "map/unprotected",
+            Box::new(|cap, _threads| Box::new(UnprotectedMap::new(cap)) as Box<dyn Map>),
+        ),
+        (
+            "map/tagged",
+            Box::new(|cap, _threads| Box::new(TaggedMap::new(cap)) as Box<dyn Map>),
+        ),
+        (
+            "map/hazard",
+            Box::new(|cap, threads| Box::new(HazardMap::new(cap, threads)) as Box<dyn Map>),
+        ),
+        (
+            "map/llsc",
+            Box::new(|cap, threads| Box::new(LlScMap::new(cap, threads)) as Box<dyn Map>),
+        ),
+        (
+            "map/epoch",
+            Box::new(|cap, threads| Box::new(EpochMap::new(cap, threads)) as Box<dyn Map>),
+        ),
+    ]
+}
+
+/// The standard roster of map variants for experiment E13, provisioned for
+/// `capacity` entries used by `threads` threads.
+pub fn all_maps(capacity: usize, threads: usize) -> Vec<Box<dyn Map>> {
+    map_builders()
+        .into_iter()
+        .map(|(_, build)| build(capacity, threads))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +316,42 @@ mod tests {
             assert!(h.insert(1));
             assert!(h.contains(1));
             assert!(h.remove(1));
+        }
+    }
+
+    #[test]
+    fn map_roster_contains_all_five_variants() {
+        let maps = all_maps(8, 2);
+        assert_eq!(maps.len(), 5);
+        for map in &maps {
+            let mut h = map.handle(0);
+            assert!(h.insert(1, 10));
+            assert_eq!(h.get(1), Some(10));
+            assert!(h.remove(1));
+        }
+    }
+
+    #[test]
+    fn map_builder_registry_names_are_stable_and_distinct() {
+        let builders = map_builders();
+        let names: Vec<_> = builders.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "map/unprotected",
+                "map/tagged",
+                "map/hazard",
+                "map/llsc",
+                "map/epoch",
+            ]
+        );
+        for (_, build) in builders {
+            let map = build(4, 2);
+            let mut h = map.handle(1);
+            assert!(h.insert(9, 90));
+            assert_eq!(h.get(9), Some(90));
+            assert!(h.remove(9));
+            assert_eq!(h.get(9), None);
         }
     }
 

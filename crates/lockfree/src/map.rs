@@ -1,0 +1,1021 @@
+//! Split-ordered (Shalev–Shavit) lock-free hash maps with pluggable ABA
+//! protection (experiment E13).
+//!
+//! The map is the *production-shaped* ABA workload the ROADMAP's north star
+//! names: a resizable hash table whose every moving part is built from
+//! pieces this repository already measures.  All key/value pairs live in
+//! **one** Harris–Michael linked list (the [`GenericSet`](crate::set)
+//! substrate, re-specialised here to compare *split-order* keys), ordered by
+//! the bit-reversal of their keys; a growable array of *bucket* cells holds
+//! shortcuts — immortal dummy nodes — into that list.  Doubling the bucket
+//! count never moves a node: the recursive split-ordering guarantees the
+//! keys of bucket `b` under the new size form a contiguous run after the
+//! keys of its *parent* bucket `b & !msb(b)` under the old size, so growth
+//! just lazily inserts one new dummy per fresh bucket.
+//!
+//! | Alias | Reclaimer | ABA handling |
+//! |-------|-----------|--------------|
+//! | [`UnprotectedMap`] | [`NoReclaim`] | none — lost inserts/unlinks |
+//! | [`TaggedMap`] | [`TagReclaim`] | counted link words |
+//! | [`HazardMap`] | [`HazardReclaim`] | hand-over-hand hazards |
+//! | [`EpochMap`] | [`EpochReclaim`] | epoch pin per operation |
+//! | [`LlScMap`] | [`LlScReclaim`] | LL/SC pin slot + counted links |
+//!
+//! # Split-order encoding
+//!
+//! Keys are 31-bit (the top bit of a `u32` key is masked off).  A *regular*
+//! node for key `k` carries the split-order key `reverse_bits(k | 1<<31)` —
+//! least significant bit 1 after reversal; the *dummy* node anchoring bucket
+//! `b` carries `reverse_bits(b)` — least significant bit 0.  The list is
+//! sorted by split-order key, which places every bucket's dummy immediately
+//! before that bucket's regular keys, for **every** power-of-two size at
+//! once (DESIGN.md §10).  A node's single value word packs
+//! `mapped_value << 32 | split_order_key`, stored and read atomically via
+//! [`NodeArena::set_value_data`]/[`NodeArena::data`].
+//!
+//! # Why dummies are immortal
+//!
+//! Dummy nodes are inserted once and never removed, so a traversal may start
+//! from a bucket cell without protecting the anchor: the anchor cannot be
+//! retired, and its link word is therefore always safe to read.  Protection
+//! begins hand-over-hand at the anchor's *successor*, exactly as the set
+//! protects the head's successor.  This is also what makes the bucket cells
+//! plain `AtomicU64`s rather than reclaimer-owned slots.
+//!
+//! # Bucket publication
+//!
+//! The bucket array reuses the arena's segment trick: a fixed root table of
+//! one-shot cells, each publishing a block of bucket cells, with block sizes
+//! doubling so the table reaches its maximum in logarithmically many
+//! publications.  Growth (load factor > [`LOAD_FACTOR`]) publishes the cells
+//! for the doubled size *first*, then advances the size word with a single
+//! CAS — a lost race just means another thread already grew.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use aba_reclaim::{
+    EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
+};
+
+use crate::arena::{CacheAligned, NodeArena, NIL};
+use crate::preemption_window;
+
+/// A concurrent `u32 -> u32` hash map with per-thread handles.
+pub trait Map: Send + Sync {
+    /// Number of key/value pairs the map is provisioned for (the arena also
+    /// reserves headroom for bucket dummies on top of this).
+    fn capacity(&self) -> usize;
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+    /// Number of ABA events detected so far (always 0 for the protected
+    /// variants).
+    fn aba_events(&self) -> u64;
+    /// Nodes retired but not yet returned to the arena — the protection
+    /// scheme's space overhead (0 for immediate-free schemes).
+    fn unreclaimed(&self) -> u64;
+    /// Approximate number of live entries (drives the load factor; an
+    /// unprotected ABA can skew it).
+    fn len(&self) -> u64;
+    /// Whether the map is (approximately) empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Current bucket count (grows by doubling, never shrinks).
+    fn buckets(&self) -> usize;
+    /// Arena nodes currently backed by published segments — grows from
+    /// [`Map::arena_initial_capacity`] under churn (the growth experiments
+    /// pin `live > initial`).
+    fn arena_live_capacity(&self) -> usize;
+    /// Arena nodes published at construction time.
+    fn arena_initial_capacity(&self) -> usize;
+    /// Obtain the per-thread handle for `tid`.
+    fn handle(&self, tid: usize) -> Box<dyn MapHandle + '_>;
+}
+
+/// Per-thread handle of a [`Map`].
+pub trait MapHandle: Send {
+    /// Insert `key -> value`; `false` if the key was already present (no
+    /// overwrite), the arena is exhausted, or the unprotected variant's
+    /// retry budget ran out.
+    fn insert(&mut self, key: u32, value: u32) -> bool;
+    /// Remove `key`; `false` if it was absent.
+    fn remove(&mut self, key: u32) -> bool;
+    /// Look up `key`, returning its mapped value.
+    fn get(&mut self, key: u32) -> Option<u32>;
+}
+
+/// Keys are 31-bit: the top bit is where the split-order encoding stores the
+/// regular/dummy distinction (pre-reversal).
+pub const KEY_MASK: u32 = 0x7FFF_FFFF;
+
+/// Buckets the table starts with.
+const INITIAL_BUCKETS: usize = 2;
+
+/// Average entries per bucket beyond which an insert doubles the table.
+const LOAD_FACTOR: usize = 2;
+
+/// The three protection lanes of a traversal (predecessor, current,
+/// successor), rotated hand-over-hand exactly as in the set.
+const LANES: usize = 3;
+
+/// Split-order key of a *regular* node for `key` (LSB 1 after reversal).
+fn so_regular(key: u32) -> u32 {
+    ((key & KEY_MASK) | 0x8000_0000).reverse_bits()
+}
+
+/// Split-order key of the *dummy* node anchoring `bucket` (LSB 0).
+fn so_dummy(bucket: usize) -> u32 {
+    (bucket as u32).reverse_bits()
+}
+
+/// The parent of a bucket: clear its highest set bit.  Bucket `b`'s keys
+/// split off from the parent's run when the table doubles past `msb(b)`.
+fn parent_bucket(bucket: usize) -> usize {
+    debug_assert!(bucket > 0);
+    bucket & !(1usize << bucket.ilog2())
+}
+
+/// The growable bucket-cell table: a fixed root of one-shot segment slots,
+/// block sizes doubling, each cell an `AtomicU64` holding the arena index of
+/// that bucket's dummy (or [`NIL`] while uninitialised).
+#[derive(Debug)]
+struct BucketTable {
+    segments: Vec<OnceLock<Box<[AtomicU64]>>>,
+    /// Cells in segment 0 (power of two); segment `s >= 1` holds
+    /// `initial << (s-1)` cells, so coverage doubles per publication.
+    initial: usize,
+    /// Total cells across all segments (power of two).
+    max: usize,
+    /// Current bucket count — the only word `bucket = key % size` reads.
+    size: CacheAligned<AtomicUsize>,
+}
+
+impl BucketTable {
+    fn new(initial: usize, max: usize) -> Self {
+        debug_assert!(initial.is_power_of_two() && max.is_power_of_two() && initial <= max);
+        let seg_count = if max == initial {
+            1
+        } else {
+            1 + (max / initial).ilog2() as usize
+        };
+        let table = BucketTable {
+            segments: (0..seg_count).map(|_| OnceLock::new()).collect(),
+            initial,
+            max,
+            size: CacheAligned(AtomicUsize::new(initial)),
+        };
+        table.ensure_cells(initial);
+        table
+    }
+
+    fn size(&self) -> usize {
+        self.size.0.load(Ordering::SeqCst)
+    }
+
+    /// (segment, offset) of a bucket cell.
+    fn locate(&self, bucket: usize) -> (usize, usize) {
+        if bucket < self.initial {
+            (0, bucket)
+        } else {
+            let k = (bucket / self.initial).ilog2() as usize;
+            (k + 1, bucket - (self.initial << k))
+        }
+    }
+
+    /// The cell of `bucket`, which must lie under the published coverage
+    /// (guaranteed for any `bucket < size`: growth publishes before it
+    /// advances the size word).
+    fn cell(&self, bucket: usize) -> &AtomicU64 {
+        let (seg, off) = self.locate(bucket);
+        &self.segments[seg].get().expect("bucket cell unpublished")[off]
+    }
+
+    /// Publish segments until at least `cells` bucket cells exist.  The
+    /// one-shot slot arbitrates racing publishers; a loser's freshly built
+    /// block is dropped.
+    fn ensure_cells(&self, cells: usize) {
+        let mut covered = self.initial;
+        let mut seg = 0usize;
+        if self.segments[0].get().is_none() {
+            let fresh: Box<[AtomicU64]> = (0..self.initial).map(|_| AtomicU64::new(NIL)).collect();
+            let _ = self.segments[0].set(fresh);
+        }
+        while covered < cells.min(self.max) {
+            seg += 1;
+            let len = self.initial << (seg - 1);
+            if self.segments[seg].get().is_none() {
+                let fresh: Box<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(NIL)).collect();
+                let _ = self.segments[seg].set(fresh);
+            }
+            covered += len;
+        }
+    }
+}
+
+/// Split-ordered hash map over a [`NodeArena`], generic in its
+/// ABA-protection / reclamation scheme `R`.  One Harris–Michael list ordered
+/// by split-order key holds every entry; bucket cells point at immortal
+/// dummy nodes inside it.
+#[derive(Debug)]
+pub struct GenericMap<R: Reclaimer> {
+    arena: NodeArena,
+    reclaim: R,
+    /// A permanently-NIL registered slot, `protect`ed at the top of every
+    /// traversal (re)start: that protection is what pins the epoch scheme —
+    /// the map has no head slot whose protection would do it, and a
+    /// helped-unlink retire unpins.  For the other schemes the publication
+    /// is a harmless no-op.
+    pin: SlotId,
+    buckets: BucketTable,
+    /// Live-entry gauge (approximate under unprotected ABA), drives growth.
+    count: CacheAligned<AtomicU64>,
+    aba_events: AtomicU64,
+    key_capacity: usize,
+}
+
+impl<R: Reclaimer> GenericMap<R> {
+    /// A map provisioned for `capacity` entries, used by at most `threads`
+    /// threads.  The node arena starts *small* and grows segment-wise on
+    /// demand up to `capacity` plus the bucket-dummy headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or too large for the segmented index
+    /// budget.
+    pub fn with_threads(capacity: usize, threads: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(capacity < u32::MAX as usize, "capacity too large");
+        let max_buckets = (capacity / LOAD_FACTOR)
+            .next_power_of_two()
+            .max(INITIAL_BUCKETS);
+        let arena_max = capacity + max_buckets;
+        let initial = (threads * 2 + INITIAL_BUCKETS).max(4).min(arena_max);
+        let mut reclaim = R::new(threads, LANES);
+        let pin = reclaim.add_slot(NIL);
+        let map = GenericMap {
+            arena: NodeArena::growable(initial, arena_max),
+            reclaim,
+            pin,
+            buckets: BucketTable::new(INITIAL_BUCKETS, max_buckets),
+            count: CacheAligned(AtomicU64::new(0)),
+            aba_events: AtomicU64::new(0),
+            key_capacity: capacity,
+        };
+        // Bucket 0's dummy is the global list head (split-order key 0, the
+        // minimum): created here, single-threaded, so every later traversal
+        // has an anchor.
+        let idx = map.arena.alloc().expect("initial arena segment is empty");
+        map.arena.set_value_data(idx, so_dummy(0), 0);
+        {
+            let mut g = map.reclaim.guard(0, map.arena.live_capacity());
+            g.store_link_mark(map.arena.next_word(idx), NIL, false);
+            g.quiesce();
+        }
+        map.buckets.cell(0).store(idx, Ordering::SeqCst);
+        map
+    }
+
+    /// The reclamation scheme's short name ("unprotected", "epoch", …).
+    pub fn scheme(&self) -> &'static str {
+        self.reclaim.scheme()
+    }
+}
+
+impl<R: Reclaimer> Map for GenericMap<R> {
+    fn capacity(&self) -> usize {
+        self.key_capacity
+    }
+
+    fn name(&self) -> &'static str {
+        self.reclaim.map_label()
+    }
+
+    fn aba_events(&self) -> u64 {
+        self.aba_events.load(Ordering::SeqCst)
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.reclaim.unreclaimed()
+    }
+
+    fn len(&self) -> u64 {
+        self.count.0.load(Ordering::SeqCst)
+    }
+
+    fn buckets(&self) -> usize {
+        self.buckets.size()
+    }
+
+    fn arena_live_capacity(&self) -> usize {
+        self.arena.live_capacity()
+    }
+
+    fn arena_initial_capacity(&self) -> usize {
+        self.arena.initial_capacity()
+    }
+
+    fn handle(&self, tid: usize) -> Box<dyn MapHandle + '_> {
+        // The guard is created once per handle while the arena keeps growing
+        // underneath it, so its capacity-scaled heuristics (e.g. the hazard
+        // scheme's eager-flush threshold) are sized to the arena's full plan;
+        // a snapshot of today's live capacity would pin them to the small
+        // initial segment forever.  Per-operation retry budgets are the ones
+        // that track the live capacity (see `budget`).
+        Box::new(GenericMapHandle {
+            map: self,
+            guard: self.reclaim.guard(tid, self.arena.capacity()),
+        })
+    }
+}
+
+struct GenericMapHandle<'a, R: Reclaimer> {
+    map: &'a GenericMap<R>,
+    guard: R::Guard<'a>,
+}
+
+impl<R: Reclaimer> std::fmt::Debug for GenericMapHandle<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenericMapHandle").finish_non_exhaustive()
+    }
+}
+
+/// Iteration budget for one operation (traversal steps and restarts): an
+/// unprotected ABA can link the chain into a cycle, and an unbounded walk
+/// wedges as hard as an unbounded retry loop.
+struct Budget(Option<usize>);
+
+impl Budget {
+    fn spend(&mut self) -> bool {
+        match &mut self.0 {
+            None => true,
+            Some(0) => false,
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+}
+
+/// Result of one successful traversal from a bucket anchor.  Unlike the
+/// set's, the predecessor is always a node (at worst the immortal anchor
+/// itself), so only link words are CASed — the map has no head slot.
+#[derive(Debug, Clone, Copy)]
+struct Traversal {
+    prev: u64,
+    prev_raw: u64,
+    prev_gen: u64,
+    cur: u64,
+    cur_next_raw: u64,
+    cur_gen: u64,
+    found: bool,
+}
+
+impl<R: Reclaimer> GenericMapHandle<'_, R> {
+    fn budget(&self) -> Budget {
+        Budget(self.map.reclaim.retry_bound(self.map.arena.live_capacity()))
+    }
+
+    /// The anchor (dummy index) of `bucket`, initialising the bucket — and,
+    /// recursively, its parent — on first touch.  `None` means the retry
+    /// budget ran out (unprotected corruption).
+    fn bucket_anchor(&mut self, bucket: usize, budget: &mut Budget) -> Option<u64> {
+        let cell = self.map.buckets.cell(bucket);
+        let cur = cell.load(Ordering::SeqCst);
+        if cur != NIL {
+            return Some(cur);
+        }
+        // Uninitialised: splice this bucket's dummy into the list, starting
+        // from the parent's anchor (bucket 0 is created at construction, so
+        // the recursion grounds out).
+        let parent = self.bucket_anchor(parent_bucket(bucket), budget)?;
+        let arena = &self.map.arena;
+        let idx = match arena.alloc() {
+            Some(idx) => idx,
+            // Exhausted: degrade to the parent's anchor (a longer walk, not
+            // an error) and leave the cell for a later operation to fill.
+            None => return Some(parent),
+        };
+        let so = so_dummy(bucket);
+        arena.set_value_data(idx, so, 0);
+        loop {
+            let t = match self.find_from(parent, so, budget) {
+                Some(t) => t,
+                None => {
+                    // Budget exhausted mid-initialisation: the dummy was
+                    // never published, hand it straight back.
+                    arena.free(idx);
+                    return None;
+                }
+            };
+            if t.found {
+                // Another thread's dummy won the race; adopt it.  Both
+                // racers CAS the same winner into the cell, so the lost CAS
+                // below is benign.
+                arena.free(idx);
+                let _ = cell.compare_exchange(NIL, t.cur, Ordering::SeqCst, Ordering::SeqCst);
+                return Some(t.cur);
+            }
+            self.guard
+                .store_link_mark(arena.next_word(idx), t.cur, false);
+            preemption_window();
+            if self
+                .guard
+                .cas_link_mark(arena.next_word(t.prev), t.prev_raw, idx, false)
+            {
+                let _ = cell.compare_exchange(NIL, idx, Ordering::SeqCst, Ordering::SeqCst);
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Harris–Michael `find` from a (dummy, hence immortal) anchor: walk to
+    /// the first node with split-order key `>= so`, unlinking and retiring
+    /// marked nodes on the way.  On return the traversal's protections are
+    /// still held.  `None` means the budget ran out.
+    fn find_from(&mut self, anchor: u64, so: u32, budget: &mut Budget) -> Option<Traversal> {
+        let arena = &self.map.arena;
+        'restart: loop {
+            if !budget.spend() {
+                return None;
+            }
+            // (Re-)pin the traversal: protecting the permanently-NIL pin
+            // slot is what pins an epoch guard — and a helped-unlink retire
+            // unpins, so every restart must pin afresh (the set gets this
+            // from protecting its head slot here).  For the other schemes
+            // the publication is a harmless no-op, immediately overwritten.
+            let _ = self.guard.protect(0, self.map.pin);
+            let mut lane = 0usize;
+            let mut prev = anchor;
+            let mut prev_gen = arena.generation(anchor);
+            let mut prev_raw = self.guard.load_link(arena.next_word(anchor));
+            let mut cur = self.guard.marked_index_of(prev_raw);
+            // The anchor needs no protection lane (it is never retired), but
+            // its successor does, published-then-validated against the
+            // anchor's always-readable link word.
+            if cur != NIL
+                && !self
+                    .guard
+                    .protect_link_word(lane, cur, arena.next_word(anchor), prev_raw)
+            {
+                continue 'restart;
+            }
+            loop {
+                if !budget.spend() {
+                    return None;
+                }
+                if cur == NIL {
+                    return Some(Traversal {
+                        prev,
+                        prev_raw,
+                        prev_gen,
+                        cur: NIL,
+                        cur_next_raw: 0,
+                        cur_gen: 0,
+                        found: false,
+                    });
+                }
+                let cur_gen = arena.generation(cur);
+                let next_raw = self.guard.load_link(arena.next_word(cur));
+                // Re-validate prev -> cur before trusting the snapshot.
+                if !self.guard.validate_link(arena.next_word(prev), prev_raw) {
+                    continue 'restart;
+                }
+                let next = self.guard.marked_index_of(next_raw);
+                if self.guard.mark_of(next_raw) {
+                    // cur is logically deleted: help unlink, retire, restart.
+                    preemption_window();
+                    if self
+                        .guard
+                        .cas_link_mark(arena.next_word(prev), prev_raw, next, false)
+                    {
+                        if arena.generation(cur) != cur_gen {
+                            self.map.aba_events.fetch_add(1, Ordering::SeqCst);
+                        }
+                        self.guard.retire(cur, |i| arena.free(i));
+                    }
+                    continue 'restart;
+                }
+                // Decisive window: the validated snapshot's split-order key
+                // steers the answer — a lapsed protection reads a recycled
+                // node here (see the set's twin comment).
+                preemption_window();
+                let cur_so = arena.value(cur);
+                if cur_so >= so {
+                    return Some(Traversal {
+                        prev,
+                        prev_raw,
+                        prev_gen,
+                        cur,
+                        cur_next_raw: next_raw,
+                        cur_gen,
+                        found: cur_so == so,
+                    });
+                }
+                // Advance hand-over-hand.
+                lane = (lane + 1) % LANES;
+                if next != NIL
+                    && !self
+                        .guard
+                        .protect_link_word(lane, next, arena.next_word(cur), next_raw)
+                {
+                    continue 'restart;
+                }
+                prev = cur;
+                prev_raw = next_raw;
+                prev_gen = cur_gen;
+                cur = next;
+            }
+        }
+    }
+
+    /// Double the table if the load factor warrants it: publish the cells
+    /// for the doubled size, then advance the size word with one CAS (a
+    /// lost race means another thread already grew — no retry).
+    fn maybe_grow(&mut self) {
+        let size = self.map.buckets.size();
+        if size >= self.map.buckets.max {
+            return;
+        }
+        if self.map.count.0.load(Ordering::SeqCst) < (LOAD_FACTOR * size) as u64 {
+            return;
+        }
+        let doubled = size * 2;
+        self.map.buckets.ensure_cells(doubled);
+        let _ = self.map.buckets.size.0.compare_exchange(
+            size,
+            doubled,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Budget exhausted: record the event and leave the structure alone.
+    fn bail(&mut self) {
+        self.map.aba_events.fetch_add(1, Ordering::SeqCst);
+        self.guard.quiesce();
+    }
+}
+
+impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
+    fn insert(&mut self, key: u32, value: u32) -> bool {
+        let key = key & KEY_MASK;
+        let arena = &self.map.arena;
+        // Allocate before pinning: the allocation-pressure fallback must run
+        // unpinned (deferred schemes reclaim here), and the node is
+        // exclusively ours until the splice CAS publishes it.
+        let idx = match arena.alloc() {
+            Some(idx) => idx,
+            None => {
+                self.guard.reclaim_pressure(|i| arena.free(i));
+                match arena.alloc() {
+                    Some(idx) => idx,
+                    None => return false,
+                }
+            }
+        };
+        let so = so_regular(key);
+        arena.set_value_data(idx, so, value);
+        let mut budget = self.budget();
+        let anchor = {
+            let bucket = key as usize % self.map.buckets.size();
+            match self.bucket_anchor(bucket, &mut budget) {
+                Some(anchor) => anchor,
+                None => {
+                    self.bail();
+                    arena.free(idx);
+                    return false;
+                }
+            }
+        };
+        loop {
+            let t = match self.find_from(anchor, so, &mut budget) {
+                Some(t) => t,
+                None => {
+                    self.bail();
+                    arena.free(idx);
+                    return false;
+                }
+            };
+            if t.found {
+                self.guard.quiesce();
+                arena.free(idx);
+                return false;
+            }
+            self.guard
+                .store_link_mark(arena.next_word(idx), t.cur, false);
+            preemption_window();
+            if self
+                .guard
+                .cas_link_mark(arena.next_word(t.prev), t.prev_raw, idx, false)
+            {
+                // Spliced — but onto the node we inspected, or onto a
+                // recycled incarnation?  Only the unprotected scheme trips
+                // this.
+                if arena.generation(t.prev) != t.prev_gen {
+                    self.map.aba_events.fetch_add(1, Ordering::SeqCst);
+                }
+                self.map.count.0.fetch_add(1, Ordering::SeqCst);
+                self.maybe_grow();
+                self.guard.quiesce();
+                return true;
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u32) -> bool {
+        let key = key & KEY_MASK;
+        let arena = &self.map.arena;
+        let so = so_regular(key);
+        let mut budget = self.budget();
+        let anchor = {
+            let bucket = key as usize % self.map.buckets.size();
+            match self.bucket_anchor(bucket, &mut budget) {
+                Some(anchor) => anchor,
+                None => {
+                    self.bail();
+                    return false;
+                }
+            }
+        };
+        loop {
+            let t = match self.find_from(anchor, so, &mut budget) {
+                Some(t) => t,
+                None => {
+                    self.bail();
+                    return false;
+                }
+            };
+            if !t.found {
+                self.guard.quiesce();
+                return false;
+            }
+            let next = self.guard.marked_index_of(t.cur_next_raw);
+            // Logical deletion: one CAS sets the mark in cur's own link,
+            // atomically verifying the successor did not change.
+            preemption_window();
+            if !self
+                .guard
+                .cas_link_mark(arena.next_word(t.cur), t.cur_next_raw, next, true)
+            {
+                continue; // raced with another mutation on cur: re-find
+            }
+            self.map.count.0.fetch_sub(1, Ordering::SeqCst);
+            // Physical unlink; on failure a helping traversal unlinks and
+            // retires (exactly one thread wins that CAS).
+            if self
+                .guard
+                .cas_link_mark(arena.next_word(t.prev), t.prev_raw, next, false)
+            {
+                if arena.generation(t.cur) != t.cur_gen {
+                    self.map.aba_events.fetch_add(1, Ordering::SeqCst);
+                }
+                self.guard.retire(t.cur, |i| arena.free(i));
+            } else {
+                self.guard.quiesce();
+            }
+            return true;
+        }
+    }
+
+    fn get(&mut self, key: u32) -> Option<u32> {
+        let key = key & KEY_MASK;
+        let so = so_regular(key);
+        let mut budget = self.budget();
+        let anchor = {
+            let bucket = key as usize % self.map.buckets.size();
+            match self.bucket_anchor(bucket, &mut budget) {
+                Some(anchor) => anchor,
+                None => {
+                    self.bail();
+                    return None;
+                }
+            }
+        };
+        match self.find_from(anchor, so, &mut budget) {
+            Some(t) => {
+                // Read the mapped value while the traversal's protections
+                // are still held, then release them.
+                let value = if t.found {
+                    Some(self.map.arena.data(t.cur))
+                } else {
+                    None
+                };
+                self.guard.quiesce();
+                value
+            }
+            None => {
+                self.bail();
+                None
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> Drop for GenericMapHandle<'_, R> {
+    fn drop(&mut self) {
+        let arena = &self.map.arena;
+        self.guard.quiesce();
+        self.guard.reclaim_pressure(|i| arena.free(i));
+    }
+}
+
+/// SO map with bare-index words and immediate recycling — the ABA victim.
+/// Operations bail out after a bounded number of steps (counting the bailout
+/// as an ABA event) so a cycled chain cannot wedge the harness.
+pub type UnprotectedMap = GenericMap<NoReclaim>;
+
+/// SO map whose per-node links are `(index, tag)` counted words with the
+/// deleted mark folded into the tag field.
+pub type TaggedMap = GenericMap<TagReclaim>;
+
+/// SO map with bare-index words protected by three hand-over-hand hazards.
+pub type HazardMap = GenericMap<HazardReclaim>;
+
+/// SO map under epoch-based reclamation: every operation pins the current
+/// epoch via the map's pin slot.
+pub type EpochMap = GenericMap<EpochReclaim>;
+
+/// SO map whose registered pin slot is an LL/SC object and whose links are
+/// counted words.
+pub type LlScMap = GenericMap<LlScReclaim>;
+
+impl GenericMap<NoReclaim> {
+    /// A map provisioned for `capacity` entries (thread count is irrelevant
+    /// to the unprotected scheme).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
+}
+
+impl GenericMap<TagReclaim> {
+    /// A map provisioned for `capacity` entries (thread count is irrelevant
+    /// to the tagging scheme).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_threads(capacity, 1)
+    }
+}
+
+impl GenericMap<HazardReclaim> {
+    /// A map provisioned for `capacity` entries, used by at most `threads`
+    /// threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
+    }
+}
+
+impl GenericMap<EpochReclaim> {
+    /// A map provisioned for `capacity` entries, used by at most `threads`
+    /// threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
+    }
+}
+
+impl GenericMap<LlScReclaim> {
+    /// A map provisioned for `capacity` entries, used by at most `threads`
+    /// threads.
+    pub fn new(capacity: usize, threads: usize) -> Self {
+        Self::with_threads(capacity, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_order_places_dummies_before_their_bucket_keys() {
+        // For any key and any power-of-two size, the key's bucket dummy
+        // sorts before the key, and the next bucket's dummy sorts after it.
+        for key in [0u32, 1, 2, 3, 63, 64, 1000, KEY_MASK] {
+            for size in [2usize, 4, 8, 1 << 20] {
+                let b = key as usize % size;
+                assert!(so_dummy(b) < so_regular(key), "key {key} size {size}");
+            }
+        }
+        // Dummies are pairwise distinct and regular keys are pairwise
+        // distinct from dummies (LSB discriminates).
+        assert_eq!(so_dummy(0) & 1, 0);
+        assert_eq!(so_regular(0) & 1, 1);
+        assert_ne!(so_regular(5), so_dummy(5));
+    }
+
+    #[test]
+    fn parent_bucket_clears_the_highest_bit() {
+        assert_eq!(parent_bucket(1), 0);
+        assert_eq!(parent_bucket(2), 0);
+        assert_eq!(parent_bucket(3), 1);
+        assert_eq!(parent_bucket(6), 2);
+        assert_eq!(parent_bucket(12), 4);
+    }
+
+    fn map_smoke(map: &dyn Map) {
+        let mut h = map.handle(0);
+        assert_eq!(h.get(5), None);
+        assert!(h.insert(5, 50));
+        assert!(h.insert(3, 30));
+        assert!(h.insert(9, 90));
+        assert!(!h.insert(5, 55), "duplicate insert must fail");
+        assert_eq!(h.get(5), Some(50), "no overwrite on duplicate insert");
+        assert_eq!(h.get(3), Some(30));
+        assert_eq!(h.get(9), Some(90));
+        assert_eq!(h.get(4), None);
+        assert!(h.remove(5));
+        assert!(!h.remove(5), "double remove must fail");
+        assert_eq!(h.get(5), None);
+        assert!(h.insert(5, 500));
+        assert_eq!(h.get(5), Some(500));
+        assert!(h.remove(3));
+        assert!(h.remove(5));
+        assert!(h.remove(9));
+        assert!(map.is_empty(), "{}", map.name());
+    }
+
+    #[test]
+    fn all_variants_behave_as_a_map_sequentially() {
+        map_smoke(&UnprotectedMap::new(8));
+        map_smoke(&TaggedMap::new(8));
+        map_smoke(&HazardMap::new(8, 2));
+        map_smoke(&EpochMap::new(8, 2));
+        map_smoke(&LlScMap::new(8, 2));
+    }
+
+    #[test]
+    fn growth_keeps_every_key_reachable() {
+        // Push the load factor across several doublings: every key must stay
+        // reachable through the moving bucket boundaries (split-ordering's
+        // whole point), with its original value.
+        for map in [
+            Box::new(TaggedMap::new(256)) as Box<dyn Map>,
+            Box::new(HazardMap::new(256, 1)),
+            Box::new(EpochMap::new(256, 1)),
+            Box::new(LlScMap::new(256, 1)),
+        ] {
+            let mut h = map.handle(0);
+            for key in 0..200u32 {
+                assert!(h.insert(key * 7 + 1, key), "{} insert {key}", map.name());
+            }
+            assert!(
+                map.buckets() > INITIAL_BUCKETS,
+                "{}: the table must have doubled",
+                map.name()
+            );
+            for key in 0..200u32 {
+                assert_eq!(h.get(key * 7 + 1), Some(key), "{} lost a key", map.name());
+            }
+            for key in 0..200u32 {
+                assert!(h.remove(key * 7 + 1), "{} remove {key}", map.name());
+            }
+            assert_eq!(map.aba_events(), 0, "{}", map.name());
+        }
+    }
+
+    #[test]
+    fn arena_grows_beyond_its_initial_capacity() {
+        // The growth pin at the map level: a small-initial arena serves more
+        // live nodes than it started with.
+        for map in [
+            Box::new(UnprotectedMap::new(64)) as Box<dyn Map>,
+            Box::new(TaggedMap::new(64)),
+            Box::new(HazardMap::new(64, 1)),
+            Box::new(EpochMap::new(64, 1)),
+            Box::new(LlScMap::new(64, 1)),
+        ] {
+            let initial = map.arena_initial_capacity();
+            let mut h = map.handle(0);
+            for key in 0..48u32 {
+                assert!(h.insert(key, key + 1), "{} insert {key}", map.name());
+            }
+            assert!(
+                map.arena_live_capacity() > initial,
+                "{}: live {} must exceed initial {}",
+                map.name(),
+                map.arena_live_capacity(),
+                initial
+            );
+        }
+    }
+
+    #[test]
+    fn removed_nodes_recycle_in_protected_variants() {
+        for map in [
+            Box::new(TaggedMap::new(4)) as Box<dyn Map>,
+            Box::new(HazardMap::new(4, 1)),
+            Box::new(EpochMap::new(4, 1)),
+            Box::new(LlScMap::new(4, 1)),
+        ] {
+            let mut h = map.handle(0);
+            for round in 0..200u32 {
+                for key in [1u32, 2, 3, 4] {
+                    assert!(
+                        h.insert(key, round),
+                        "{} round {round} key {key}",
+                        map.name()
+                    );
+                }
+                for key in [2u32, 4, 1, 3] {
+                    assert!(h.remove(key), "{} round {round} key {key}", map.name());
+                }
+            }
+            assert_eq!(map.aba_events(), 0);
+        }
+    }
+
+    #[test]
+    fn keys_are_masked_to_the_split_order_domain() {
+        let map = TaggedMap::new(8);
+        let mut h = map.handle(0);
+        assert!(h.insert(KEY_MASK, 1));
+        // The top bit is masked off, so key | 1<<31 aliases key.
+        assert!(!h.insert(KEY_MASK | 0x8000_0000, 2));
+        assert_eq!(h.get(KEY_MASK), Some(1));
+        assert!(h.remove(KEY_MASK | 0x8000_0000));
+        assert_eq!(h.get(KEY_MASK), None);
+    }
+
+    #[test]
+    fn deferred_schemes_report_their_limbo_footprint() {
+        let map = EpochMap::new(64, 1);
+        let mut h = map.handle(0);
+        assert!(h.insert(1, 10));
+        assert!(h.remove(1));
+        assert_eq!(map.unreclaimed(), 1);
+        drop(h);
+        assert_eq!(map.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn hazard_map_returns_nodes_to_arena_on_handle_drop() {
+        let map = HazardMap::new(8, 2);
+        {
+            let mut h = map.handle(0);
+            for key in 0..8 {
+                assert!(h.insert(key, key));
+            }
+            for key in 0..8 {
+                assert!(h.remove(key));
+            }
+        }
+        let mut h = map.handle(1);
+        for key in 0..8 {
+            assert!(h.insert(key, key), "node for key {key} was not reclaimed");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            UnprotectedMap::new(1).name(),
+            TaggedMap::new(1).name(),
+            HazardMap::new(1, 1).name(),
+            EpochMap::new(1, 1).name(),
+            LlScMap::new(1, 1).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_churn_is_coherent_for_protected_variants() {
+        // Two threads over disjoint key ranges: a protected map must never
+        // lose or invent a key, and values must stay attached to their keys.
+        use std::sync::Barrier;
+        for map in [
+            Box::new(TaggedMap::new(64)) as Box<dyn Map>,
+            Box::new(HazardMap::new(64, 2)),
+            Box::new(EpochMap::new(64, 2)),
+            Box::new(LlScMap::new(64, 2)),
+        ] {
+            let barrier = Barrier::new(2);
+            std::thread::scope(|s| {
+                for tid in 0..2usize {
+                    let map = &*map;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut h = map.handle(tid);
+                        let base = tid as u32 * 1000;
+                        barrier.wait();
+                        for round in 0..300u32 {
+                            for k in 0..8u32 {
+                                let key = base + k;
+                                assert!(h.insert(key, key ^ round), "{} insert", map.name());
+                            }
+                            for k in 0..8u32 {
+                                let key = base + k;
+                                assert_eq!(h.get(key), Some(key ^ round), "{}", map.name());
+                            }
+                            for k in 0..8u32 {
+                                assert!(h.remove(base + k), "{} remove", map.name());
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(map.aba_events(), 0, "{}", map.name());
+        }
+    }
+}

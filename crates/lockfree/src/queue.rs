@@ -124,7 +124,7 @@ impl<R: Reclaimer> Queue for GenericQueue<R> {
     fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_> {
         Box::new(GenericQueueHandle {
             queue: self,
-            guard: self.reclaim.guard(tid, self.arena.capacity()),
+            guard: self.reclaim.guard(tid, self.arena.live_capacity()),
         })
     }
 }
@@ -161,7 +161,11 @@ impl Budget {
 
 impl<R: Reclaimer> GenericQueueHandle<'_, R> {
     fn budget(&self) -> Budget {
-        Budget(self.queue.reclaim.retry_bound(self.queue.arena.capacity()))
+        Budget(
+            self.queue
+                .reclaim
+                .retry_bound(self.queue.arena.live_capacity()),
+        )
     }
 }
 

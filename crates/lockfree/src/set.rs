@@ -125,7 +125,7 @@ impl<R: Reclaimer> Set for GenericSet<R> {
     fn handle(&self, tid: usize) -> Box<dyn SetHandle + '_> {
         Box::new(GenericSetHandle {
             set: self,
-            guard: self.reclaim.guard(tid, self.arena.capacity()),
+            guard: self.reclaim.guard(tid, self.arena.live_capacity()),
         })
     }
 }
@@ -185,7 +185,7 @@ struct Traversal {
 
 impl<R: Reclaimer> GenericSetHandle<'_, R> {
     fn budget(&self) -> Budget {
-        Budget(self.set.reclaim.retry_bound(self.set.arena.capacity()))
+        Budget(self.set.reclaim.retry_bound(self.set.arena.live_capacity()))
     }
 
     /// Whether the predecessor word still holds `raw` (Michael's
@@ -750,7 +750,7 @@ mod tests {
                 // Raw-guard traversal of the first hop, exactly as `find`
                 // performs it — but with no yields, so preemption lands at
                 // every possible instruction boundary.
-                let mut g = set.reclaim.guard(1, set.arena.capacity());
+                let mut g = set.reclaim.guard(1, set.arena.live_capacity());
                 barrier.wait();
                 let mut adoptions = 0u64;
                 while !done.load(Ordering::SeqCst) {

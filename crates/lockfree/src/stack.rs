@@ -104,7 +104,7 @@ impl<R: Reclaimer> Stack for GenericStack<R> {
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
         Box::new(GenericStackHandle {
             stack: self,
-            guard: self.reclaim.guard(tid, self.arena.capacity()),
+            guard: self.reclaim.guard(tid, self.arena.live_capacity()),
         })
     }
 }

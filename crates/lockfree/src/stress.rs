@@ -1,5 +1,6 @@
 //! Multi-threaded stress harnesses and conservation checking for the stacks
-//! (experiment E6) and queues (experiment E8).
+//! (experiment E6), queues (experiment E8), sets (E10) and split-ordered
+//! maps (E13).
 //!
 //! For stacks, each thread pushes a disjoint set of values and pops whatever
 //! it finds.  For queues, producer threads enqueue disjoint values while
@@ -19,9 +20,21 @@
 use std::collections::HashMap;
 use std::sync::Barrier;
 
+use crate::map::Map;
 use crate::queue::Queue;
 use crate::set::Set;
 use crate::stack::Stack;
+
+/// Arena size for a conservation stress run: a deliberately *tight* shared
+/// capacity (`contended` nodes — small enough that every node recycles
+/// constantly, which is what makes the ABA window hot) plus two nodes of
+/// per-thread headroom, so deferred schemes (hazard, epoch), whose retired
+/// nodes sit in limbo for a scan or two epochs, do not starve the arena into
+/// a false exhaustion livelock.  Every conservation test sizes its structure
+/// with this one helper instead of hand-computing the sum.
+pub fn conservation_capacity(contended: usize, threads: usize) -> usize {
+    contended + threads * 2
+}
 
 /// Merged outcome of one conservation run, before harness-specific labels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -407,6 +420,103 @@ pub fn stress_set(set: &dyn Set, threads: usize, ops_per_thread: usize) -> SetSt
     }
 }
 
+/// Result of one split-ordered-map stress run (experiment E13's
+/// key-conservation check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapStressReport {
+    /// Map variant name.
+    pub map: String,
+    /// Number of threads.
+    pub threads: usize,
+    /// Insert attempts per thread.
+    pub ops_per_thread: usize,
+    /// Keys successfully inserted.
+    pub inserted: u64,
+    /// Keys removed by the workers themselves.
+    pub removed: u64,
+    /// Keys drained from the map afterwards.
+    pub remaining: u64,
+    /// ABA events the map itself detected (only the unprotected variant
+    /// reports these).
+    pub aba_events: u64,
+    /// Keys that were inserted but never seen again.
+    pub lost: u64,
+    /// Keys that were seen more often than they were inserted.
+    pub duplicated: u64,
+}
+
+impl MapStressReport {
+    /// `true` iff every inserted key was seen exactly once afterwards.
+    pub fn is_conserved(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0
+    }
+}
+
+/// Run `threads` threads, each inserting a disjoint range of keys (each
+/// mapped to a value derived from the key, so a value swap would surface as
+/// a lookup mismatch in the map's own tests) and removing its own earlier
+/// insertions with a 50% duty cycle, then drain the map and check key
+/// conservation — the same multiset accounting as the set harness, via the
+/// shared [`run_conservation`] driver.  The churn doubles as the growth
+/// workload: the map's arena starts small and must publish segments to keep
+/// up.
+pub fn stress_map(map: &dyn Map, threads: usize, ops_per_thread: usize) -> MapStressReport {
+    let outcome = run_conservation(
+        threads,
+        |tid| {
+            let mut handle = map.handle(tid);
+            let mut inserted = Vec::new();
+            let mut removed = Vec::new();
+            let mut live: Vec<u32> = Vec::new();
+            for i in 0..ops_per_thread {
+                let key = (tid * ops_per_thread + i) as u32 + 1;
+                if handle.insert(key, key ^ 0x5A5A_5A5A) {
+                    inserted.push(key);
+                    live.push(key);
+                } else {
+                    // Arena exhausted: hand the core to whoever can remove
+                    // (essential on single-core hosts, where a spinning
+                    // worker otherwise monopolises the timeslice).
+                    std::thread::yield_now();
+                }
+                // Remove an own earlier key with 50% duty cycle to keep the
+                // chains short and the free list hot (recycling pressure).
+                if i % 2 == 0 {
+                    if let Some(key) = live.pop() {
+                        if handle.remove(key) {
+                            removed.push(key);
+                        }
+                        // A failed remove of an own key: the key was lost
+                        // (nobody else ever removes it).
+                    }
+                }
+            }
+            (inserted, removed)
+        },
+        {
+            // Drain by sweeping the whole (disjoint, known) key range: each
+            // call removes the next key still present.  A budget-bailing
+            // remove on a corrupted chain returns `false` and the sweep
+            // moves on, so the drain terminates even on a cycle.
+            let mut handle = map.handle(0);
+            let mut candidates = 1..=(threads * ops_per_thread) as u32;
+            move || candidates.by_ref().find(|&key| handle.remove(key))
+        },
+        map.capacity() * 4 + 16,
+    );
+    MapStressReport {
+        map: map.name().to_string(),
+        threads,
+        ops_per_thread,
+        inserted: outcome.inserted,
+        removed: outcome.taken,
+        remaining: outcome.remaining,
+        aba_events: map.aba_events(),
+        lost: outcome.lost,
+        duplicated: outcome.duplicated,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,7 +528,7 @@ mod tests {
 
     #[test]
     fn tagged_stack_conserves_values() {
-        let stack = TaggedStack::new(CAPACITY + THREADS * 2);
+        let stack = TaggedStack::new(conservation_capacity(CAPACITY, THREADS));
         let report = stress_stack(&stack, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -426,14 +536,14 @@ mod tests {
 
     #[test]
     fn hazard_stack_conserves_values() {
-        let stack = HazardStack::new(CAPACITY + THREADS * 2, THREADS);
+        let stack = HazardStack::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_stack(&stack, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
 
     #[test]
     fn epoch_stack_conserves_values() {
-        let stack = EpochStack::new(CAPACITY + THREADS * 2, THREADS);
+        let stack = EpochStack::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_stack(&stack, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -441,7 +551,7 @@ mod tests {
 
     #[test]
     fn llsc_stack_conserves_values() {
-        let stack = LlScStack::new(CAPACITY + THREADS * 2, THREADS);
+        let stack = LlScStack::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_stack(&stack, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
@@ -488,7 +598,7 @@ mod tests {
 
     #[test]
     fn tagged_queue_conserves_values() {
-        let queue = TaggedQueue::new(CAPACITY + QUEUE_THREADS * 2);
+        let queue = TaggedQueue::new(conservation_capacity(CAPACITY, QUEUE_THREADS));
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -496,14 +606,20 @@ mod tests {
 
     #[test]
     fn hazard_queue_conserves_values() {
-        let queue = HazardQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let queue = HazardQueue::new(
+            conservation_capacity(CAPACITY, QUEUE_THREADS),
+            QUEUE_THREADS,
+        );
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
 
     #[test]
     fn epoch_queue_conserves_values() {
-        let queue = EpochQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let queue = EpochQueue::new(
+            conservation_capacity(CAPACITY, QUEUE_THREADS),
+            QUEUE_THREADS,
+        );
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -511,7 +627,10 @@ mod tests {
 
     #[test]
     fn llsc_queue_conserves_values() {
-        let queue = LlScQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let queue = LlScQueue::new(
+            conservation_capacity(CAPACITY, QUEUE_THREADS),
+            QUEUE_THREADS,
+        );
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
@@ -558,7 +677,7 @@ mod tests {
 
     #[test]
     fn tagged_set_conserves_membership() {
-        let set = TaggedSet::new(CAPACITY + THREADS * 2);
+        let set = TaggedSet::new(conservation_capacity(CAPACITY, THREADS));
         let report = stress_set(&set, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -566,14 +685,14 @@ mod tests {
 
     #[test]
     fn hazard_set_conserves_membership() {
-        let set = HazardSet::new(CAPACITY + THREADS * 2, THREADS);
+        let set = HazardSet::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_set(&set, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
 
     #[test]
     fn epoch_set_conserves_membership() {
-        let set = EpochSet::new(CAPACITY + THREADS * 2, THREADS);
+        let set = EpochSet::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_set(&set, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(report.aba_events, 0);
@@ -581,7 +700,7 @@ mod tests {
 
     #[test]
     fn llsc_set_conserves_membership() {
-        let set = LlScSet::new(CAPACITY + THREADS * 2, THREADS);
+        let set = LlScSet::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_set(&set, THREADS, OPS);
         assert!(report.is_conserved(), "{report:?}");
     }
@@ -618,7 +737,7 @@ mod tests {
 
     #[test]
     fn set_stress_leaves_no_limbo_after_the_drain_handle_drops() {
-        let set = HazardSet::new(CAPACITY + THREADS * 2, THREADS);
+        let set = HazardSet::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_set(&set, THREADS, 500);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(set.unreclaimed(), 0);
@@ -628,14 +747,76 @@ mod tests {
     fn deferred_schemes_leave_no_limbo_after_the_drain_handle_drops() {
         // The shared driver's drain handle applies allocation pressure on
         // drop; with all workers quiesced, every retired node must be home.
-        let stack = EpochStack::new(CAPACITY + THREADS * 2, THREADS);
+        let stack = EpochStack::new(conservation_capacity(CAPACITY, THREADS), THREADS);
         let report = stress_stack(&stack, THREADS, 500);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(stack.unreclaimed(), 0);
 
-        let queue = HazardQueue::new(CAPACITY + QUEUE_THREADS * 2, QUEUE_THREADS);
+        let queue = HazardQueue::new(
+            conservation_capacity(CAPACITY, QUEUE_THREADS),
+            QUEUE_THREADS,
+        );
         let report = stress_queue(&queue, PRODUCERS, CONSUMERS, 500);
         assert!(report.is_conserved(), "{report:?}");
         assert_eq!(queue.unreclaimed(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Map key conservation (experiment E13)
+    // ------------------------------------------------------------------
+
+    use crate::map::{EpochMap, HazardMap, LlScMap, TaggedMap, UnprotectedMap};
+
+    #[test]
+    fn tagged_map_conserves_keys() {
+        let map = TaggedMap::new(conservation_capacity(CAPACITY, THREADS));
+        let report = stress_map(&map, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn hazard_map_conserves_keys() {
+        let map = HazardMap::new(conservation_capacity(CAPACITY, THREADS), THREADS);
+        let report = stress_map(&map, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn epoch_map_conserves_keys() {
+        let map = EpochMap::new(conservation_capacity(CAPACITY, THREADS), THREADS);
+        let report = stress_map(&map, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
+    }
+
+    #[test]
+    fn llsc_map_conserves_keys() {
+        let map = LlScMap::new(conservation_capacity(CAPACITY, THREADS), THREADS);
+        let report = stress_map(&map, THREADS, OPS);
+        assert!(report.is_conserved(), "{report:?}");
+    }
+
+    #[test]
+    fn map_stress_grows_the_arena_under_churn() {
+        // The growth pin under real concurrency: the map's arena starts
+        // small, so a conserving stress run must have published segments.
+        let map = HazardMap::new(conservation_capacity(CAPACITY, THREADS), THREADS);
+        let report = stress_map(&map, THREADS, 500);
+        assert!(report.is_conserved(), "{report:?}");
+        assert!(
+            map.arena_live_capacity() > map.arena_initial_capacity(),
+            "churn must publish beyond the initial segment (live {}, initial {})",
+            map.arena_live_capacity(),
+            map.arena_initial_capacity()
+        );
+    }
+
+    #[test]
+    fn single_threaded_map_stress_is_always_clean_even_unprotected() {
+        let map = UnprotectedMap::new(CAPACITY);
+        let report = stress_map(&map, 1, 2_000);
+        assert!(report.is_conserved(), "{report:?}");
+        assert_eq!(report.aba_events, 0);
     }
 }

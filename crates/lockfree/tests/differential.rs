@@ -3,9 +3,9 @@
 //!
 //! Each property generates a random operation script, then replays it — one
 //! thread, one handle — on *every* variant in the family's builder registry
-//! (`stack_builders` / `queue_builders` / `set_builders`), comparing each
-//! operation's result with the obviously-correct sequential model
-//! (`Vec`, `VecDeque`, [`SeqOrderedSet`]).  Single-threaded, every variant
+//! (`stack_builders` / `queue_builders` / `set_builders` / `map_builders`),
+//! comparing each operation's result with the obviously-correct sequential
+//! model (`Vec`, `VecDeque`, [`SeqOrderedSet`], [`SeqMap`]).  Single-threaded, every variant
 //! including the unprotected one must agree exactly: a divergence is a
 //! *logic* bug in the structure or a scheme's word encoding, not a race.
 //!
@@ -18,9 +18,9 @@
 
 use std::collections::VecDeque;
 
-use aba_lockfree::{queue_builders, set_builders, stack_builders};
+use aba_lockfree::{map_builders, queue_builders, set_builders, stack_builders};
 use aba_sim::minimize_violation_schedule as shrink_ops;
-use aba_spec::SeqOrderedSet;
+use aba_spec::{SeqMap, SeqOrderedSet};
 use proptest::prelude::*;
 
 /// Backend capacity: strictly more nodes than any generated script has
@@ -163,6 +163,53 @@ fn set_divergence(ops: &[SetOp]) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
+// Map family vs SeqMap
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapOp {
+    Insert(u32, u32),
+    Remove(u32),
+    Get(u32),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0..KEY_DOMAIN, 0..1000u32).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0..KEY_DOMAIN).prop_map(MapOp::Remove),
+        (0..KEY_DOMAIN).prop_map(MapOp::Get),
+    ]
+}
+
+fn map_divergence(ops: &[MapOp]) -> Option<String> {
+    for (name, build) in map_builders() {
+        let map = build(CAPACITY, 1);
+        let mut handle = map.handle(0);
+        let mut model = SeqMap::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let diverged = match op {
+                MapOp::Insert(k, v) => {
+                    let (got, want) = (handle.insert(k, v), model.insert(k, v));
+                    (got != want).then(|| format!("{got}, model {want}"))
+                }
+                MapOp::Remove(k) => {
+                    let (got, want) = (handle.remove(k), model.remove(k));
+                    (got != want).then(|| format!("{got}, model {want}"))
+                }
+                MapOp::Get(k) => {
+                    let (got, want) = (handle.get(k), model.get(k));
+                    (got != want).then(|| format!("{got:?}, model {want:?}"))
+                }
+            };
+            if let Some(detail) = diverged {
+                return Some(format!("{name}: op {i} {op:?} -> {detail}"));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
 // The properties
 // ---------------------------------------------------------------------------
 
@@ -196,6 +243,17 @@ proptest! {
         if let Some(detail) = set_divergence(&ops) {
             let minimal = shrink_ops(&ops, |o| set_divergence(o).is_some());
             let detail = set_divergence(&minimal).unwrap_or(detail);
+            prop_assert!(false, "{} — minimal failing script: {:?}", detail, minimal);
+        }
+    }
+
+    #[test]
+    fn map_backends_match_the_seq_map_model(
+        ops in proptest::collection::vec(map_op(), 1..MAX_OPS)
+    ) {
+        if let Some(detail) = map_divergence(&ops) {
+            let minimal = shrink_ops(&ops, |o| map_divergence(o).is_some());
+            let detail = map_divergence(&minimal).unwrap_or(detail);
             prop_assert!(false, "{} — minimal failing script: {:?}", detail, minimal);
         }
     }
@@ -243,7 +301,15 @@ fn divergence_detector_is_not_vacuous() {
     let ops = [SetOp::Insert(3), SetOp::Contains(3)];
     // All real backends agree on this script …
     assert!(set_divergence(&ops).is_none());
-    // … and the stack/queue detectors agree on theirs.
+    // … and the stack/queue/map detectors agree on theirs.
     assert!(stack_divergence(&[StackOp::Push(1), StackOp::Pop]).is_none());
     assert!(queue_divergence(&[QueueOp::Enqueue(1), QueueOp::Dequeue]).is_none());
+    assert!(map_divergence(&[
+        MapOp::Insert(3, 30),
+        MapOp::Insert(3, 99), // duplicate: must fail and keep the 30 binding
+        MapOp::Get(3),
+        MapOp::Remove(3),
+        MapOp::Get(3),
+    ])
+    .is_none());
 }

@@ -105,6 +105,10 @@ impl Reclaimer for EpochReclaim {
         "HM set (epoch)"
     }
 
+    fn map_label(&self) -> &'static str {
+        "SO map (epoch)"
+    }
+
     fn unreclaimed(&self) -> u64 {
         self.unreclaimed.load(Ordering::SeqCst)
     }

@@ -159,6 +159,10 @@ pub trait Reclaimer: Send + Sync + 'static {
     /// Display name for the Harris–Michael ordered-set instantiation.
     fn set_label(&self) -> &'static str;
 
+    /// Display name for the split-ordered hash-map instantiation (stable
+    /// registry value, used in experiment tables).
+    fn map_label(&self) -> &'static str;
+
     /// Number of nodes retired but not yet handed back to the allocator —
     /// the scheme's *space overhead*, the paper's second axis.  Always 0 for
     /// immediate-free schemes.
@@ -321,6 +325,10 @@ impl Reclaimer for NoReclaim {
         "HM set (unprotected)"
     }
 
+    fn map_label(&self) -> &'static str {
+        "SO map (unprotected)"
+    }
+
     fn retry_bound(&self, capacity: usize) -> Option<usize> {
         // An ABA can link the queue into a cycle, after which the standard
         // unbounded retry loops spin forever; bail out after a generous
@@ -472,6 +480,10 @@ impl Reclaimer for TagReclaim {
 
     fn set_label(&self) -> &'static str {
         "HM set (tagged links)"
+    }
+
+    fn map_label(&self) -> &'static str {
+        "SO map (tagged links)"
     }
 }
 
@@ -641,6 +653,10 @@ impl Reclaimer for HazardReclaim {
 
     fn set_label(&self) -> &'static str {
         "HM set (hazard pointers)"
+    }
+
+    fn map_label(&self) -> &'static str {
+        "SO map (hazard pointers)"
     }
 
     fn unreclaimed(&self) -> u64 {
@@ -857,6 +873,13 @@ impl Reclaimer for LlScReclaim {
         // arena words, so they carry the counted mark encoding instead (see
         // the mark-capable link methods below and DESIGN.md §7).
         "HM set (LL/SC head, counted links)"
+    }
+
+    fn map_label(&self) -> &'static str {
+        // Same split as the set: registered slots (the bucket cells live in
+        // the arena, so only the pin slot is an LL/SC object) vs counted
+        // deep links.
+        "SO map (LL/SC slots, counted links)"
     }
 }
 
@@ -1092,9 +1115,15 @@ mod tests {
 
     #[test]
     fn labels_and_schemes_are_distinct() {
-        fn row<R: Reclaimer>() -> [&'static str; 4] {
+        fn row<R: Reclaimer>() -> [&'static str; 5] {
             let r = R::new(1, 1);
-            [r.scheme(), r.stack_label(), r.queue_label(), r.set_label()]
+            [
+                r.scheme(),
+                r.stack_label(),
+                r.queue_label(),
+                r.set_label(),
+                r.map_label(),
+            ]
         }
         let labels = [
             row::<NoReclaim>(),
@@ -1103,7 +1132,7 @@ mod tests {
             row::<EpochReclaim>(),
             row::<LlScReclaim>(),
         ];
-        for proj in 0..4 {
+        for proj in 0..5 {
             let mut one: Vec<&str> = labels.iter().map(|row| row[proj]).collect();
             one.sort_unstable();
             one.dedup();

@@ -86,6 +86,33 @@ pub enum OpKind {
         /// Whether the key was reported a member.
         found: bool,
     },
+    /// `Insert(k, v)` on a key→value map, with whether a binding was created
+    /// (`ok == false` covers both "key already bound" and an arena-exhausted
+    /// attempt; either way the abstract map is untouched).
+    MapInsert {
+        /// Inserted key.
+        key: Word,
+        /// Bound value.
+        value: Word,
+        /// Whether the insert took effect.
+        ok: bool,
+    },
+    /// `Remove(k)` on a key→value map, with whether the key was found (and
+    /// therefore unbound).
+    MapRemove {
+        /// Removed key.
+        key: Word,
+        /// Whether the remove took effect.
+        ok: bool,
+    },
+    /// `Get(k)` on a key→value map, with the value it observed (`None` for
+    /// an unbound key).
+    MapGet {
+        /// Probed key.
+        key: Word,
+        /// Observed value, if the key was bound.
+        value: Option<Word>,
+    },
 }
 
 impl OpKind {
@@ -100,6 +127,8 @@ impl OpKind {
                 | OpKind::Dequeue { value: Some(_) }
                 | OpKind::Insert { ok: true, .. }
                 | OpKind::Remove { ok: true, .. }
+                | OpKind::MapInsert { ok: true, .. }
+                | OpKind::MapRemove { ok: true, .. }
         )
     }
 }
@@ -118,6 +147,15 @@ impl fmt::Display for OpKind {
             OpKind::Insert { key, ok } => write!(f, "Insert({key}) -> {ok}"),
             OpKind::Remove { key, ok } => write!(f, "Remove({key}) -> {ok}"),
             OpKind::Contains { key, found } => write!(f, "Contains({key}) -> {found}"),
+            OpKind::MapInsert { key, value, ok } => {
+                write!(f, "MapInsert({key} -> {value}) -> {ok}")
+            }
+            OpKind::MapRemove { key, ok } => write!(f, "MapRemove({key}) -> {ok}"),
+            OpKind::MapGet {
+                key,
+                value: Some(v),
+            } => write!(f, "MapGet({key}) -> {v}"),
+            OpKind::MapGet { key, value: None } => write!(f, "MapGet({key}) -> absent"),
         }
     }
 }
@@ -433,6 +471,69 @@ mod tests {
                 }
             ),
             "Contains(7) -> true"
+        );
+    }
+
+    #[test]
+    fn map_op_classification_and_display() {
+        assert!(OpKind::MapInsert {
+            key: 1,
+            value: 2,
+            ok: true
+        }
+        .is_mutator());
+        assert!(!OpKind::MapInsert {
+            key: 1,
+            value: 2,
+            ok: false
+        }
+        .is_mutator());
+        assert!(OpKind::MapRemove { key: 1, ok: true }.is_mutator());
+        assert!(!OpKind::MapRemove { key: 1, ok: false }.is_mutator());
+        assert!(!OpKind::MapGet {
+            key: 1,
+            value: Some(2)
+        }
+        .is_mutator());
+        assert!(!OpKind::MapGet {
+            key: 1,
+            value: None
+        }
+        .is_mutator());
+        assert_eq!(
+            format!(
+                "{}",
+                OpKind::MapInsert {
+                    key: 7,
+                    value: 70,
+                    ok: true
+                }
+            ),
+            "MapInsert(7 -> 70) -> true"
+        );
+        assert_eq!(
+            format!("{}", OpKind::MapRemove { key: 7, ok: false }),
+            "MapRemove(7) -> false"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                OpKind::MapGet {
+                    key: 7,
+                    value: Some(70)
+                }
+            ),
+            "MapGet(7) -> 70"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                OpKind::MapGet {
+                    key: 7,
+                    value: None
+                }
+            ),
+            "MapGet(7) -> absent"
         );
     }
 

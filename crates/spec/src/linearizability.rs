@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use std::hash::Hash;
 
 use crate::history::{History, OpKind};
-use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc, SeqOrderedSet};
+use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc, SeqMap, SeqOrderedSet};
 use crate::{ProcessId, Word};
 
 /// Maximum history length the exhaustive checker accepts.
@@ -110,6 +110,31 @@ impl CheckerSpec for SetSpecState {
             }
             OpKind::Remove { key, ok } => self.0.remove(key) == ok,
             OpKind::Contains { key, found } => self.0.contains(key) == found,
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MapSpecState(SeqMap);
+
+impl CheckerSpec for MapSpecState {
+    fn apply(&mut self, _pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::MapInsert { key, value, ok } => {
+                if ok {
+                    // A successful insert requires the key unbound here.
+                    self.0.insert(key, value)
+                } else {
+                    // A failed insert is a no-op on the abstract map and is
+                    // always admissible: it covers both "key already bound"
+                    // and "arena exhausted" (the checker cannot tell them
+                    // apart, so it must not reject either).
+                    true
+                }
+            }
+            OpKind::MapRemove { key, ok } => self.0.remove(key) == ok,
+            OpKind::MapGet { key, value } => self.0.get(key) == value,
             _ => false,
         }
     }
@@ -213,6 +238,31 @@ pub fn check_set_history(history: &History) -> LinCheckOutcome {
         );
     }
     check_generic(history, SetSpecState(SeqOrderedSet::new()))
+}
+
+/// Check a history of `MapInsert`/`MapRemove`/`MapGet` operations against the
+/// no-overwrite map specification (initially empty).
+///
+/// A non-linearizable outcome is exactly what an ABA on a split-ordered hash
+/// map produces: a bound key a later `MapGet` cannot see (a splice lost to a
+/// recycled node), a key unbound twice, or a `MapGet` observing a value no
+/// linearization order ever bound to that key.
+///
+/// # Panics
+///
+/// Panics if the history contains non-map operations.
+pub fn check_map_history(history: &History) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(
+                op.kind,
+                OpKind::MapInsert { .. } | OpKind::MapRemove { .. } | OpKind::MapGet { .. }
+            ),
+            "check_map_history given a non-map operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, MapSpecState(SeqMap::new()))
 }
 
 fn check_generic<S: CheckerSpec>(history: &History, initial: S) -> LinCheckOutcome {
@@ -676,6 +726,183 @@ mod tests {
             ),
         ]);
         assert!(check_set_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_map_history_is_linearizable() {
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 5,
+                    value: 50,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 5,
+                    value: 99,
+                    ok: false,
+                },
+                2,
+                3,
+            ),
+            rec(
+                1,
+                OpKind::MapGet {
+                    key: 5,
+                    value: Some(50),
+                },
+                4,
+                5,
+            ),
+            rec(1, OpKind::MapRemove { key: 5, ok: true }, 6, 7),
+            rec(1, OpKind::MapRemove { key: 5, ok: false }, 8, 9),
+            rec(
+                0,
+                OpKind::MapGet {
+                    key: 5,
+                    value: None,
+                },
+                10,
+                11,
+            ),
+        ]);
+        assert!(check_map_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn lost_map_binding_is_not_linearizable() {
+        // The split-ordered ABA damage signature: a completed insert whose
+        // binding a later get cannot see, with no remove in between.
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 5,
+                    value: 50,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            rec(
+                1,
+                OpKind::MapGet {
+                    key: 5,
+                    value: None,
+                },
+                2,
+                3,
+            ),
+        ]);
+        assert_eq!(check_map_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn stale_map_value_is_not_linearizable() {
+        // A get observing a value no linearization ever bound to the key —
+        // the signature of reading a recycled node's payload.
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 5,
+                    value: 50,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            rec(
+                1,
+                OpKind::MapGet {
+                    key: 5,
+                    value: Some(99),
+                },
+                2,
+                3,
+            ),
+        ]);
+        assert_eq!(check_map_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn doubly_removed_map_key_is_not_linearizable() {
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 5,
+                    value: 50,
+                    ok: true,
+                },
+                0,
+                1,
+            ),
+            rec(1, OpKind::MapRemove { key: 5, ok: true }, 2, 3),
+            rec(2, OpKind::MapRemove { key: 5, ok: true }, 4, 5),
+        ]);
+        assert_eq!(check_map_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_map_insert_and_get_allow_either_answer() {
+        for value in [None, Some(50)] {
+            let h = History::from_ops(vec![
+                rec(
+                    0,
+                    OpKind::MapInsert {
+                        key: 5,
+                        value: 50,
+                        ok: true,
+                    },
+                    0,
+                    10,
+                ),
+                rec(1, OpKind::MapGet { key: 5, value }, 1, 2),
+            ]);
+            assert!(check_map_history(&h).is_linearizable(), "{value:?}");
+        }
+    }
+
+    #[test]
+    fn failed_map_insert_linearizes_as_a_no_op() {
+        // `ok == false` covers an arena-exhausted attempt: it must be
+        // admissible even where the key is provably unbound.
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::MapInsert {
+                    key: 9,
+                    value: 90,
+                    ok: false,
+                },
+                0,
+                1,
+            ),
+            rec(
+                1,
+                OpKind::MapGet {
+                    key: 9,
+                    value: None,
+                },
+                2,
+                3,
+            ),
+        ]);
+        assert!(check_map_history(&h).is_linearizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-map operation")]
+    fn map_checker_rejects_set_ops() {
+        let h = History::from_ops(vec![rec(0, OpKind::Insert { key: 1, ok: true }, 0, 1)]);
+        let _ = check_map_history(&h);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! linearizability checker replays candidate linearizations against them, and
 //! the property tests in this crate exercise their invariants directly.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::{ProcessId, Word};
 
@@ -244,6 +244,61 @@ impl SeqOrderedSet {
     }
 }
 
+/// Sequential specification of a key→value map with no-overwrite inserts.
+///
+/// State: the key→value bindings.  The split-ordered hash maps in
+/// `aba-lockfree` (E13) must linearize to this.  `insert` refuses to
+/// overwrite an existing binding — mirroring the concurrent structure, where
+/// a second insert of a live key fails rather than replacing the value — and
+/// a failed insert (key present *or* backing arena exhausted) is a no-op on
+/// the abstract state, so the specification itself carries no capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SeqMap {
+    entries: BTreeMap<Word, Word>,
+}
+
+impl SeqMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the map holds no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply an `Insert(k, v)`; `false` iff the key was already bound (the
+    /// existing binding is left untouched).
+    pub fn insert(&mut self, key: Word, value: Word) -> bool {
+        if self.entries.contains_key(&key) {
+            return false;
+        }
+        self.entries.insert(key, value);
+        true
+    }
+
+    /// Apply a `Remove(k)`; `false` iff the key was absent.
+    pub fn remove(&mut self, key: Word) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Apply a `Get(k)`.
+    pub fn get(&self, key: Word) -> Option<Word> {
+        self.entries.get(&key).copied()
+    }
+
+    /// The bindings in ascending key order.
+    pub fn entries(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +337,28 @@ mod tests {
         assert!(s.remove(3));
         assert!(!s.remove(3), "double remove must fail");
         assert_eq!(s.keys().collect::<Vec<_>>(), vec![1, 7]);
+    }
+
+    #[test]
+    fn map_bindings_never_overwrite() {
+        let mut m = SeqMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(3), None);
+        assert!(!m.remove(3));
+        assert!(m.insert(3, 30));
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(3, 99), "duplicate insert must fail");
+        assert_eq!(m.get(3), Some(30), "failed insert must not overwrite");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.entries().collect::<Vec<_>>(), vec![(1, 10), (3, 30)]);
+        assert!(m.remove(3));
+        assert!(!m.remove(3), "double remove must fail");
+        assert_eq!(m.get(3), None);
+        assert!(
+            m.insert(3, 99),
+            "re-insert after remove binds the new value"
+        );
+        assert_eq!(m.get(3), Some(99));
     }
 
     #[test]

@@ -8,17 +8,18 @@
 //! instance for every measurement cell, so that repetitions never observe
 //! each other's state.
 //!
-//! [`standard_backends`] is the roster the E7/E8/E9/E10 experiments sweep:
-//! every `LlScObject` implementation in `aba-core` (Figure 3's single-CAS
-//! object, the announce-array object, and Moir's construction at three tag
-//! widths) plus every Treiber-stack, MS-queue and Harris–Michael-set variant
-//! in `aba-lockfree` — one per `aba-reclaim` scheme (unprotected, tagged,
-//! hazard-protected, epoch-reclaimed and LL/SC-worded), 20 backends total.
+//! [`standard_backends`] is the roster the E7/E8/E9/E10/E13 experiments
+//! sweep: every `LlScObject` implementation in `aba-core` (Figure 3's
+//! single-CAS object, the announce-array object, and Moir's construction at
+//! three tag widths) plus every Treiber-stack, MS-queue, Harris–Michael-set
+//! and split-ordered-map variant in `aba-lockfree` — one per `aba-reclaim`
+//! scheme (unprotected, tagged, hazard-protected, epoch-reclaimed and
+//! LL/SC-worded), 25 backends total.
 
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
 use aba_lockfree::{
-    queue_builders, set_builders, stack_builders, Queue, QueueHandle, Set, SetHandle, Stack,
-    StackHandle,
+    map_builders, queue_builders, set_builders, stack_builders, Map, MapHandle, Queue, QueueHandle,
+    Set, SetHandle, Stack, StackHandle,
 };
 use aba_spec::{LlScHandle, LlScObject};
 
@@ -351,6 +352,82 @@ impl WorkloadOps for SetOps<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Map adapter
+// ---------------------------------------------------------------------------
+
+/// How many distinct keys the map adapter folds scenario values onto — the
+/// same folding as the set adapter, so key-space scenarios drive comparable
+/// contention, and wide enough that bucket doubling actually fires.
+const MAP_KEY_SPACE: u32 = 128;
+
+/// [`Workload`] over any split-ordered hash-map variant.
+pub struct MapWorkload {
+    map: Box<dyn Map>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for MapWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapWorkload")
+            .field("name", &self.map.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl MapWorkload {
+    /// Wrap `map` for use by `threads` threads.
+    pub fn new(map: Box<dyn Map>, threads: usize) -> Self {
+        MapWorkload { map, threads }
+    }
+}
+
+impl Workload for MapWorkload {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker(&self, tid: usize) -> Box<dyn WorkloadOps + '_> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        Box::new(MapOps {
+            handle: self.map.handle(tid),
+            probe: tid as u32,
+        })
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.map.unreclaimed()
+    }
+}
+
+struct MapOps<'a> {
+    handle: Box<dyn MapHandle + 'a>,
+    /// Rolling probe key for value-less reads; the odd stride walks the
+    /// whole key space.
+    probe: u32,
+}
+
+impl WorkloadOps for MapOps<'_> {
+    fn read(&mut self) {
+        self.probe = self.probe.wrapping_add(13) % MAP_KEY_SPACE;
+        std::hint::black_box(self.handle.get(self.probe));
+    }
+
+    fn write(&mut self, value: u32) {
+        // Bind a value derived from the key so a stale read is detectable
+        // (the checker layers compare observed bindings, not just presence).
+        let key = value % MAP_KEY_SPACE;
+        std::hint::black_box(self.handle.insert(key, key ^ 0xA5A5_A5A5));
+    }
+
+    fn rmw(&mut self, value: u32) {
+        // The binding round trip: retract the key a `write` of the same
+        // scenario value published (key-space scenarios pair them up).
+        std::hint::black_box(self.handle.remove(value % MAP_KEY_SPACE));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -444,6 +521,11 @@ pub fn standard_backends() -> Vec<BackendSpec> {
             Box::new(SetWorkload::new(builder(stack_capacity(t), t), t))
         }));
     }
+    for (name, builder) in map_builders() {
+        specs.push(BackendSpec::new(name, move |t| {
+            Box::new(MapWorkload::new(builder(stack_capacity(t), t), t))
+        }));
+    }
     specs
 }
 
@@ -452,15 +534,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_twenty_distinct_backends() {
+    fn roster_has_twenty_five_distinct_backends() {
         let specs = standard_backends();
-        assert_eq!(specs.len(), 20);
+        assert_eq!(specs.len(), 25);
         let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20);
-        // All three structure families are present, one backend per scheme.
-        for family in ["stack/", "queue/", "set/"] {
+        assert_eq!(names.len(), 25);
+        // All four structure families are present, one backend per scheme.
+        for family in ["stack/", "queue/", "set/", "map/"] {
             let count = specs
                 .iter()
                 .filter(|s| s.name().starts_with(family))
@@ -480,6 +562,8 @@ mod tests {
                     | "queue/epoch"
                     | "set/hazard"
                     | "set/epoch"
+                    | "map/hazard"
+                    | "map/epoch"
             );
             let w = spec.build(1);
             let mut ops = w.worker(0);
@@ -511,6 +595,25 @@ mod tests {
             ops.write(9); // duplicate insert: a no-op
             ops.read(); // contains(probe)
             ops.rmw(9); // remove 9
+            ops.rmw(9); // remove again: a no-op
+            ops.write(200); // folds onto key 200 % 128 = 72
+            ops.rmw(200);
+        }
+    }
+
+    #[test]
+    fn map_adapter_round_trips_bindings_through_the_op_vocabulary() {
+        for spec in standard_backends() {
+            if !spec.name().starts_with("map/") {
+                continue;
+            }
+            let w = spec.build(2);
+            let mut ops = w.worker(1);
+            ops.rmw(9); // remove on an empty map: a no-op
+            ops.write(9); // bind 9
+            ops.write(9); // duplicate insert: a no-op
+            ops.read(); // get(probe)
+            ops.rmw(9); // unbind 9
             ops.rmw(9); // remove again: a no-op
             ops.write(200); // folds onto key 200 % 128 = 72
             ops.rmw(200);

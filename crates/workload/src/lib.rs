@@ -1,13 +1,14 @@
 //! # aba-workload
 //!
-//! The multi-threaded workload engine behind experiments E7–E10: a
+//! The multi-threaded workload engine behind experiments E7–E10 and E13: a
 //! deterministic [scenario](scenario::Scenario) registry (six symmetric
 //! traffic shapes, the role-asymmetric `producer-consumer` and `pipeline`,
-//! and the key-space shapes `uniform-key-churn` and `hot-key-contention`)
-//! crossed with a [backend](backend::BackendSpec) matrix over every
-//! `LlScObject` implementation and every Treiber-stack, MS-queue and
-//! Harris–Michael-set variant — one per `aba-reclaim` protection scheme,
-//! 20 backends — swept across thread counts by a measurement
+//! the key-space shapes `uniform-key-churn` and `hot-key-contention`, and
+//! the Zipf-skewed shapes `zipf-key-churn` and `zipf-read-heavy`) crossed
+//! with a [backend](backend::BackendSpec) matrix over every `LlScObject`
+//! implementation and every Treiber-stack, MS-queue, Harris–Michael-set and
+//! split-ordered-map variant — one per `aba-reclaim` protection scheme,
+//! 25 backends — swept across thread counts by a measurement
 //! [engine](engine::run_matrix)
 //! (warmup, median-of-k repetitions, per-thread counters merged after join,
 //! p50/p99 latency sampling with a prime, per-thread-staggered stride, and a
@@ -47,9 +48,9 @@ pub mod report;
 pub mod scenario;
 
 pub use backend::{
-    standard_backends, BackendSpec, LlScWorkload, QueueWorkload, SetWorkload, StackWorkload,
-    Workload, WorkloadOps,
+    standard_backends, BackendSpec, LlScWorkload, MapWorkload, QueueWorkload, SetWorkload,
+    StackWorkload, Workload, WorkloadOps,
 };
 pub use engine::{run_cell, run_matrix, CellResult, EngineConfig, MatrixResult};
-pub use report::{render_tables, to_json, JSON_SCHEMA};
+pub use report::{render_tables, to_json, to_json_with_schema, JSON_SCHEMA};
 pub use scenario::{standard_scenarios, Op, Scenario};

@@ -178,10 +178,20 @@ fn cell_json(cell: &CellResult) -> String {
 
 /// Serialise the whole matrix as one JSON document (`BENCH_throughput.json`).
 pub fn to_json(result: &MatrixResult) -> String {
+    to_json_with_schema(result, JSON_SCHEMA)
+}
+
+/// Serialise the matrix under an explicit schema identifier.
+///
+/// The cell layout is identical to [`to_json`]'s; experiment binaries that
+/// sweep a sub-matrix (e.g. the E13 map sweep's `aba-repro/map/v1`) stamp
+/// their own schema so downstream tooling can tell the documents apart
+/// without inspecting the cell set.
+pub fn to_json_with_schema(result: &MatrixResult, schema: &str) -> String {
     let cells: Vec<String> = result.cells.iter().map(cell_json).collect();
     format!(
         "{{\n\"schema\":\"{}\",\n\"config\":{},\n\"cells\":[\n{}\n]\n}}\n",
-        JSON_SCHEMA,
+        json_escape(schema),
         config_json(&result.config),
         cells.join(",\n"),
     )
@@ -245,6 +255,20 @@ mod tests {
         // Structural sanity: balanced braces and brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_with_custom_schema_differs_only_in_the_schema_field() {
+        let result = sample_result();
+        let default = to_json(&result);
+        let custom = to_json_with_schema(&result, "aba-repro/map/v1");
+        assert!(custom.contains("\"schema\":\"aba-repro/map/v1\""));
+        assert!(!custom.contains(JSON_SCHEMA));
+        assert_eq!(
+            default.replace(JSON_SCHEMA, "aba-repro/map/v1"),
+            custom,
+            "cell layout must be schema-independent"
+        );
     }
 
     #[test]

@@ -59,6 +59,16 @@ enum Kind {
     /// the same few nodes at the same chain positions), the rest spread
     /// over a cold 64-key range so chains keep non-trivial depth.
     HotKeyContention,
+    /// Key-space churn with Zipf-like keys: publish / probe / retract cycles
+    /// where key popularity falls off geometrically (half the keyed traffic
+    /// on the hottest key or two, a long cold tail over the 64-key space) —
+    /// the canonical hash-map access pattern, and the one that makes a
+    /// split-ordered map's hottest buckets recycle nodes fastest (E13).
+    ZipfKeyChurn,
+    /// 90% probes / 10% mutations over the same Zipf-like key distribution:
+    /// the cache-style read-mostly regime where traversal-protection cost
+    /// dominates and mutations keep landing on the already-hot keys (E13).
+    ZipfReadHeavy,
 }
 
 /// Key-space width of the two key-space scenarios.
@@ -72,6 +82,18 @@ const HOT_KEYS: usize = 4;
 /// collide on keys without marching in lockstep.
 fn uniform_key(tid: usize, i: usize) -> u32 {
     ((i.wrapping_mul(29) + tid.wrapping_mul(17)) % KEY_SPACE) as u32
+}
+
+/// A Zipf-like skewed key over `KEY_SPACE`: a multiplicative hash mix picks a
+/// geometric *level* (level `l` with probability `2^-(l+1)`, capped at the
+/// key-space width), and the key is uniform inside `0..2^level`.  Key 0 is
+/// therefore in every level (the hottest), key popularity halves with each
+/// doubling of rank — the discrete staircase approximation of a Zipf(~1)
+/// distribution, as a pure function of `(tid, i)`.
+fn zipf_key(tid: usize, i: usize) -> u32 {
+    let h = i.wrapping_mul(0x9E37_79B9) ^ tid.wrapping_mul(0x85EB_CA6B);
+    let level = ((h & 0x3F) as u32).trailing_ones().min(6);
+    ((h >> 8) % (1usize << level)) as u32
 }
 
 /// A named, deterministic traffic shape.
@@ -160,6 +182,24 @@ impl Scenario {
                     _ => Op::Read, // 1 and 6
                 }
             }
+            Kind::ZipfKeyChurn => {
+                // publish / probe / retract, one key per step, Zipf keys.
+                let key = zipf_key(tid, i / 3);
+                match i % 3 {
+                    0 => Op::Write(key),
+                    1 => Op::Read,
+                    _ => Op::Rmw(key),
+                }
+            }
+            Kind::ZipfReadHeavy => {
+                // One publish and one retract per 20 ops (5% + 5%), probes
+                // in between; mutations track the skewed distribution.
+                match i % 20 {
+                    0 => Op::Write(zipf_key(tid, i / 20)),
+                    10 => Op::Rmw(zipf_key(tid, i / 20)),
+                    _ => Op::Read,
+                }
+            }
         }
     }
 }
@@ -217,6 +257,16 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             description: "publish/retract cycles skewed onto 4 hot keys, cold range for depth",
             kind: Kind::HotKeyContention,
         },
+        Scenario {
+            name: "zipf-key-churn",
+            description: "publish/probe/retract cycles over Zipf-skewed keys (hash-map churn)",
+            kind: Kind::ZipfKeyChurn,
+        },
+        Scenario {
+            name: "zipf-read-heavy",
+            description: "90% probes / 10% mutations over Zipf-skewed keys (cache regime)",
+            kind: Kind::ZipfReadHeavy,
+        },
     ]
 }
 
@@ -225,13 +275,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_ten_distinct_scenarios() {
+    fn roster_has_twelve_distinct_scenarios() {
         let roster = standard_scenarios();
-        assert_eq!(roster.len(), 10);
+        assert_eq!(roster.len(), 12);
         let mut names: Vec<_> = roster.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 12);
     }
 
     #[test]
@@ -297,6 +347,63 @@ mod tests {
         let k0 = (0..8).map(|i| s.op(0, i)).collect::<Vec<_>>();
         let k1 = (0..8).map(|i| s.op(1, i)).collect::<Vec<_>>();
         assert_ne!(k0, k1, "phase shift keeps threads out of lockstep");
+    }
+
+    #[test]
+    fn zipf_key_churn_is_skewed_with_a_long_tail() {
+        let roster = standard_scenarios();
+        let s = roster
+            .iter()
+            .find(|s| s.name() == "zipf-key-churn")
+            .unwrap();
+        let mut counts = std::collections::HashMap::new();
+        let (mut reads, mut writes, mut rmws) = (0, 0, 0);
+        for tid in 0..4 {
+            for i in 0..3000 {
+                match s.op(tid, i) {
+                    Op::Read => reads += 1,
+                    Op::Write(k) => {
+                        writes += 1;
+                        *counts.entry(k).or_insert(0usize) += 1;
+                    }
+                    Op::Rmw(k) => {
+                        rmws += 1;
+                        *counts.entry(k).or_insert(0usize) += 1;
+                    }
+                }
+            }
+        }
+        // The publish/probe/retract cycle is an even three-way split.
+        assert_eq!((reads, writes, rmws), (4000, 4000, 4000));
+        assert!(counts.keys().all(|&k| k < 64));
+        let total: usize = counts.values().sum();
+        let hottest = *counts.get(&0).unwrap_or(&0);
+        // Key 0 sits in every geometric level: it must dominate (Zipf head)…
+        assert!(
+            hottest * 3 >= total,
+            "key 0 must carry >= a third of keyed traffic: {hottest}/{total}"
+        );
+        // …while the tail still spreads over a real key range.
+        assert!(
+            counts.len() >= 16,
+            "the cold tail must be wide, saw {} keys",
+            counts.len()
+        );
+    }
+
+    #[test]
+    fn zipf_read_heavy_matches_its_ratio_over_the_same_distribution() {
+        let roster = standard_scenarios();
+        let s = roster
+            .iter()
+            .find(|s| s.name() == "zipf-read-heavy")
+            .unwrap();
+        let reads = (0..1000).filter(|&i| s.op(0, i) == Op::Read).count();
+        assert_eq!(reads, 900);
+        let writes = (0..1000)
+            .filter(|&i| matches!(s.op(0, i), Op::Write(_)))
+            .count();
+        assert_eq!(writes, 50);
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! keep every pre-existing name.  Growing the roster appends names; it never
 //! renames or reorders the existing ones.
 
-use aba_workload::{run_matrix, standard_backends, standard_scenarios, to_json, EngineConfig};
+use aba_workload::{
+    run_matrix, standard_backends, standard_scenarios, to_json, to_json_with_schema, EngineConfig,
+};
 
 /// The full backend roster, frozen.  PR 4 appended `stack/epoch` and
-/// `queue/epoch`; PR 5 appended the five `set/*` backends; everything before
-/// them is the PR 2/PR 3 roster verbatim.
-const GOLDEN_ROSTER: [&str; 20] = [
+/// `queue/epoch`; PR 5 appended the five `set/*` backends; PR 8 appended the
+/// five `map/*` backends; everything before them is the PR 2/PR 3 roster
+/// verbatim.
+const GOLDEN_ROSTER: [&str; 25] = [
     "llsc/cas (Fig 3)",
     "llsc/announce",
     "llsc/moir tag32",
@@ -35,11 +38,17 @@ const GOLDEN_ROSTER: [&str; 20] = [
     "set/hazard",
     "set/llsc",
     "set/epoch",
+    "map/unprotected",
+    "map/tagged",
+    "map/hazard",
+    "map/llsc",
+    "map/epoch",
 ];
 
 /// The full scenario roster, frozen.  PR 3 appended `producer-consumer` and
-/// `pipeline`; PR 5 appended the two key-space scenarios.
-const GOLDEN_SCENARIOS: [&str; 10] = [
+/// `pipeline`; PR 5 appended the two key-space scenarios; PR 8 appended the
+/// two Zipf-skewed scenarios.
+const GOLDEN_SCENARIOS: [&str; 12] = [
     "churn",
     "signal-wait",
     "rmw-storm",
@@ -50,6 +59,8 @@ const GOLDEN_SCENARIOS: [&str; 10] = [
     "pipeline",
     "uniform-key-churn",
     "hot-key-contention",
+    "zipf-key-churn",
+    "zipf-read-heavy",
 ];
 
 #[test]
@@ -73,10 +84,10 @@ fn scenario_roster_matches_the_golden_list_exactly() {
 }
 
 #[test]
-fn full_matrix_is_ten_scenarios_by_twenty_backends() {
-    // The roster cross-product the E7–E10 sweeps produce: pinned here so a
-    // silently shrunken sweep cannot masquerade as a passing benchmark run.
-    assert_eq!(standard_scenarios().len() * standard_backends().len(), 200);
+fn full_matrix_is_twelve_scenarios_by_twenty_five_backends() {
+    // The roster cross-product the E7–E10/E13 sweeps produce: pinned here so
+    // a silently shrunken sweep cannot masquerade as a passing benchmark run.
+    assert_eq!(standard_scenarios().len() * standard_backends().len(), 300);
 }
 
 #[test]
@@ -197,5 +208,58 @@ fn bench_json_top_level_and_cell_key_sets_are_pinned() {
         ],
         "cell keys changed — BENCH_throughput.json consumers track these \
          names across commits; add fields at the end, never rename"
+    );
+}
+
+#[test]
+fn bench_map_json_schema_and_key_set_are_pinned() {
+    // The E13 map sweep (`table_map` → BENCH_map.json) reuses the matrix
+    // cell layout verbatim under its own schema string: pin both, so the
+    // map document can never silently fork its format from the main one.
+    let scenarios = standard_scenarios();
+    let zipf: Vec<_> = scenarios
+        .iter()
+        .filter(|s| s.name().starts_with("zipf-"))
+        .copied()
+        .collect();
+    assert_eq!(zipf.len(), 2, "the two E13 scenarios must exist");
+    let backends: Vec<_> = standard_backends()
+        .into_iter()
+        .filter(|b| b.name().starts_with("map/"))
+        .collect();
+    assert_eq!(backends.len(), 5, "the five E13 backends must exist");
+    let config = EngineConfig {
+        thread_counts: vec![1],
+        ops_per_thread: 8,
+        warmup_ops_per_thread: 0,
+        repetitions: 1,
+        latency_sample_period: 3,
+    };
+    let json = to_json_with_schema(
+        &run_matrix(&zipf[..1], &backends[..1], &config),
+        "aba-repro/map/v1",
+    );
+    assert!(
+        json.contains("\"schema\":\"aba-repro/map/v1\""),
+        "BENCH_map.json schema string changed"
+    );
+    assert!(json.contains("\"backend\":\"map/unprotected\""));
+    assert!(json.contains("\"scenario\":\"zipf-key-churn\""));
+    let cell_start = json.find("\"cells\":[").expect("cells array") + 9;
+    let cell_end = json[cell_start..].find('}').expect("cell object end") + cell_start;
+    assert_eq!(
+        object_keys(&json[cell_start..=cell_end]),
+        [
+            "scenario",
+            "backend",
+            "threads",
+            "ops_per_rep",
+            "ops_per_sec",
+            "p50_ns",
+            "p99_ns",
+            "peak_unreclaimed",
+            "repetitions",
+        ],
+        "BENCH_map.json cell keys diverged from the matrix layout"
     );
 }
