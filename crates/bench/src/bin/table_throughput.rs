@@ -1,5 +1,5 @@
-//! Experiments E7–E10: the scenario × backend × thread-count throughput
-//! matrix, driven by the `aba-workload` engine.
+//! Experiments E7–E10 and E14: the scenario × backend × thread-count
+//! throughput matrix, driven by the `aba-workload` engine.
 //!
 //! Ten traffic shapes (stack churn, event signal/wait, counter CAS
 //! storms, read-heavy, write-heavy, pathological same-slot contention, the
@@ -7,9 +7,9 @@
 //! key-space uniform-key-churn and hot-key-contention shapes) crossed
 //! with every `LlScObject` implementation (Figure 3's single CAS, the
 //! announce-array object, Moir at tag widths 8/16/32), every Treiber-stack,
-//! MS-queue and Harris–Michael-set variant (unprotected, tagged,
-//! hazard-protected, epoch-reclaimed, LL/SC), each swept across thread
-//! counts with warmup and median-of-k repetitions.
+//! elimination-stack, MS-queue and Harris–Michael-set variant (unprotected,
+//! tagged, hazard-protected, epoch-reclaimed, LL/SC), each swept across
+//! thread counts with warmup and median-of-k repetitions.
 //!
 //! Absolute numbers depend on the machine; the reproducible *shape* is that
 //! the O(1)-step implementations sustain their rate as the thread count
@@ -18,30 +18,77 @@
 //! with the incorrectness E6 and E8 quantify.
 //!
 //! Run with `cargo run -p aba-bench --bin table_throughput --release`.
-//! Flags: `--quick` (CI-sized sweep), `--out <path>` (JSON destination,
-//! default `BENCH_throughput.json`).
+//! Flags:
+//! - `--quick`: CI-sized sweep (threads 1/2/4, ~10× fewer ops).
+//! - `--out <path>`: JSON destination (default `BENCH_throughput.json`).
+//! - `--threads <a,b,c>`: override the swept thread counts — the E14
+//!   hardware-limit trajectory runs `--threads 16,32,64`.
+//! - `--ops <n>`: override timed operations per worker thread.
+//! - `--scenarios <prefix,...>` / `--backends <prefix,...>`: keep only
+//!   scenarios/backends whose name starts with one of the prefixes (E14
+//!   restricts to the contention scenarios × stack backends; a prefix
+//!   rather than a substring, so `churn` does not drag in
+//!   `uniform-key-churn`, while `stack/` still selects a whole family).
+//! - `--baseline <path>`: compare against a committed
+//!   `BENCH_baseline.json` and exit 1 when any shared cell loses more than
+//!   25% of its median-relative throughput (see `aba_bench::baseline`).
 
+use aba_bench::baseline;
 use aba_workload::{
     render_tables, run_matrix, standard_backends, standard_scenarios, to_json, EngineConfig,
 };
 
+fn list_flag(args: &[String], flag: &str) -> Option<Vec<String>> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+fn value_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let out_path =
+        value_flag(&args, "--out").unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
-    let config = if quick {
+    let mut config = if quick {
         EngineConfig::quick()
     } else {
         EngineConfig::standard()
     };
-    let scenarios = standard_scenarios();
-    let backends = standard_backends();
+    if let Some(threads) = list_flag(&args, "--threads") {
+        config.thread_counts = threads
+            .iter()
+            .map(|t| {
+                t.parse()
+                    .unwrap_or_else(|_| panic!("bad --threads value {t}"))
+            })
+            .collect();
+    }
+    if let Some(ops) = value_flag(&args, "--ops") {
+        config.ops_per_thread = ops
+            .parse()
+            .unwrap_or_else(|_| panic!("bad --ops value {ops}"));
+    }
+
+    let mut scenarios = standard_scenarios();
+    if let Some(filters) = list_flag(&args, "--scenarios") {
+        scenarios.retain(|s| filters.iter().any(|f| s.name().starts_with(f.as_str())));
+        assert!(!scenarios.is_empty(), "--scenarios matched nothing");
+    }
+    let mut backends = standard_backends();
+    if let Some(filters) = list_flag(&args, "--backends") {
+        backends.retain(|b| filters.iter().any(|f| b.name().starts_with(f.as_str())));
+        assert!(!backends.is_empty(), "--backends matched nothing");
+    }
+
     eprintln!(
         "E7/E8 matrix: {} scenarios x {} backends x {:?} threads, {} ops/thread, median of {}{}",
         scenarios.len(),
@@ -71,7 +118,27 @@ fn main() {
     println!("{}", render_tables(&result));
     println!("Expected shape: constant-step implementations sustain their rate as threads grow; the Figure 3 single-CAS object degrades fastest under contention (its retry loop is Θ(n)); the unprotected stack and queue are fast but incorrect (see table_aba_incidence and the E8 conservation tests).");
 
-    std::fs::write(&out_path, to_json(&result))
-        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    let json = to_json(&result);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path} ({} cells)", result.cells.len());
+
+    if let Some(baseline_path) = value_flag(&args, "--baseline") {
+        let baseline_json = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let base_cells = baseline::parse_cells(&baseline_json);
+        let cur_cells = baseline::parse_cells(&json);
+        match baseline::compare(&base_cells, &cur_cells, baseline::DEFAULT_TOLERANCE) {
+            Ok(cmp) => {
+                print!("{}", cmp.report());
+                if cmp.failed() {
+                    eprintln!("throughput regression against {baseline_path}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("baseline comparison against {baseline_path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
+
 /// A plain-text table builder for experiment output.
 #[derive(Debug, Clone)]
 pub struct Table {

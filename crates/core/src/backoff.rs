@@ -1,0 +1,172 @@
+//! Bounded exponential backoff for CAS retry loops.
+//!
+//! Every lock-free retry loop in this repository ultimately spins on a
+//! failed compare-and-swap. Under low contention, retrying immediately is
+//! optimal: the window between load and CAS is a handful of instructions.
+//! Under high contention the opposite holds — `p` threads hammering one
+//! cache line serialize on the coherence protocol, and each failed CAS
+//! costs a line transfer that delays the eventual winner too. The standard
+//! remedy (Anderson 1990; Herlihy & Shavit §7.4) is *bounded exponential
+//! backoff*: after the `k`-th consecutive failure, wait roughly `2^k`
+//! "pause" steps before retrying, capped at a fixed ceiling so the wait
+//! never grows unbounded and the loop's lock-freedom argument is
+//! unchanged (a bounded wait is a finite number of local steps, so the
+//! `// retry-bound:` budget accounting of the data-structure loops is
+//! unaffected).
+//!
+//! Design constraints, in order:
+//!
+//! - **Determinism-friendly (lint L3).** No `std::time::Instant`, no
+//!   `thread::sleep`. Waiting is expressed purely as `spin_loop` hints
+//!   and, past a threshold, `thread::yield_now()` — both of which the
+//!   conformance linter (`aba-analyze` rule L3) accepts outside the
+//!   timing-privileged engine module.
+//! - **Seeded jitter.** Pure exponential backoff synchronizes colliding
+//!   threads into lockstep convoys (they all back off the same amount and
+//!   re-collide). Each `Backoff` carries a tiny xorshift PRNG seeded from
+//!   the owning thread id, and each wait is scaled by a per-wait jitter
+//!   factor in `[1/2, 1]`. Same seed ⇒ same schedule, so tests that pin
+//!   thread ids observe reproducible behaviour.
+//! - **No shared state.** A `Backoff` is a per-handle value (a few words);
+//!   it never touches an atomic, so it cannot itself become a contention
+//!   point.
+//!
+//! The step schedule: waits of `jitter(2^k)` spin-loop hints for
+//! `k = 0..=SPIN_LIMIT_EXP`, then `thread::yield_now()` once per wait up
+//! to `YIELD_LIMIT` additional steps, then saturation — `is_saturated`
+//! reports `true` and every further wait is a single yield. The
+//! elimination stack uses the saturation signal as its "central stack is
+//! hot, go eliminate" trigger.
+
+/// Consecutive-failure exponent at which spinning stops escalating and the
+/// backoff switches from `spin_loop` hints to `thread::yield_now()`.
+/// `2^6 = 64` pause hints is roughly the cost of one cache-line transfer
+/// on contemporary hardware; spinning longer than that inline wastes the
+/// core, so we hand the slice to the scheduler instead.
+pub const SPIN_LIMIT_EXP: u32 = 6;
+
+/// Number of yield-grade waits after the spin phase before the backoff
+/// saturates. Saturation does not stop the loop — it only caps the wait at
+/// one yield per retry and flips [`Backoff::is_saturated`], which callers
+/// (the elimination stack) use as a contention signal.
+pub const YIELD_LIMIT: u32 = 4;
+
+/// Bounded exponential spin→yield backoff with seeded, deterministic
+/// jitter. See the module docs for the schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Consecutive-failure counter; index into the wait schedule.
+    step: u32,
+    /// xorshift64 state for jitter. Never zero.
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff whose jitter stream is seeded from `seed` (typically the
+    /// owning thread id). Two `Backoff`s with the same seed produce the
+    /// same wait schedule.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64-style scramble so that adjacent thread ids (0, 1, 2,
+        // ...) land on decorrelated xorshift streams; `| 1` keeps the
+        // xorshift state nonzero.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Backoff {
+            step: 0,
+            rng: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Forget the failure streak. Call after the contended operation
+    /// finally succeeds so the next operation starts from the cheap end of
+    /// the schedule.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// `true` once the failure streak has exhausted both the spin phase
+    /// and the yield phase. The elimination stack treats this as "the
+    /// central CAS is saturated — try an off-stack exchange".
+    pub fn is_saturated(&self) -> bool {
+        self.step >= SPIN_LIMIT_EXP + YIELD_LIMIT
+    }
+
+    /// Draw the next value of the seeded jitter stream (xorshift64, never
+    /// zero). Public so that callers with their own randomized-but-
+    /// deterministic choices to make (the elimination stack picking an
+    /// exchange slot) can reuse the handle's stream instead of carrying a
+    /// second PRNG.
+    pub fn next_rand(&mut self) -> u64 {
+        // xorshift64 (Marsaglia 2003).
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Wait one step of the schedule and advance the failure streak. Call
+    /// on each failed CAS (or failed optimistic validation) before
+    /// retrying.
+    pub fn pause(&mut self) {
+        if self.step < SPIN_LIMIT_EXP {
+            // Spin phase: jittered 2^step pause hints. The jitter keeps
+            // colliding threads from re-colliding in lockstep: each wait
+            // is scaled into [half, full] of the nominal length.
+            let nominal: u64 = 1 << self.step;
+            let jitter = self.next_rand() % (nominal / 2 + 1);
+            let spins = nominal - jitter;
+            for _ in 0..spins {
+                core::hint::spin_loop();
+            }
+        } else {
+            // Yield phase (and saturation): one scheduler yield per retry.
+            // On an oversubscribed machine this is what actually lets the
+            // CAS winner run; spinning harder would only starve it.
+            std::thread::yield_now();
+        }
+        // Saturate the counter instead of growing it: the wait is bounded
+        // (lock-freedom: a retry costs at most max(64 spins, 1 yield)).
+        self.step = (self.step + 1).min(SPIN_LIMIT_EXP + YIELD_LIMIT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_after_bounded_schedule() {
+        let mut b = Backoff::new(3);
+        assert!(!b.is_saturated());
+        for _ in 0..(SPIN_LIMIT_EXP + YIELD_LIMIT) {
+            b.pause();
+        }
+        assert!(b.is_saturated());
+        // Further pauses stay saturated and bounded.
+        b.pause();
+        assert!(b.is_saturated());
+        b.reset();
+        assert!(!b.is_saturated());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = Backoff::new(7);
+        let mut b = Backoff::new(7);
+        let mut c = Backoff::new(8);
+        let ra: Vec<u64> = (0..8).map(|_| a.next_rand()).collect();
+        let rb: Vec<u64> = (0..8).map(|_| b.next_rand()).collect();
+        let rc: Vec<u64> = (0..8).map(|_| c.next_rand()).collect();
+        assert_eq!(ra, rb);
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn zero_seed_produces_nonzero_stream() {
+        let mut b = Backoff::new(0);
+        assert_ne!(b.next_rand(), 0);
+    }
+}

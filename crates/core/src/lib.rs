@@ -40,20 +40,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod announce_llsc;
+pub mod backoff;
 pub mod bounded_reg;
 pub mod cas_llsc;
 pub mod llsc_aba;
 pub mod moir_llsc;
 pub mod pack;
+pub mod pad;
 pub mod seqpool;
 pub mod stepcount;
 pub mod tagged;
 
 pub use announce_llsc::{AnnounceLlSc, AnnounceLlScHandle};
+pub use backoff::Backoff;
 pub use bounded_reg::{BoundedAbaHandle, BoundedAbaRegister};
 pub use cas_llsc::{CasLlSc, CasLlScHandle};
 pub use llsc_aba::{stacks, LlScAbaHandle, LlScAbaRegister};
 pub use moir_llsc::{MoirHandle, MoirLlSc};
+pub use pad::CachePadded;
 pub use tagged::{TaggedAbaRegister, TaggedHandle};
 
 // Re-export the vocabulary types users need alongside the implementations.

@@ -1,0 +1,73 @@
+//! Cache-line padding for contended hot words.
+//!
+//! Every frequently-CASed word in the repository — stack/queue head and
+//! tail slots inside the reclaimers, per-thread epoch and hazard slots,
+//! the elimination stack's exchange words — wants a cache line to itself:
+//! two hot words sharing a 64-byte line serialize on the coherence
+//! protocol even when the *logical* contention is zero (false sharing).
+//! [`CachePadded`] is the one shared spelling of that layout decision, so
+//! the layout regression tests can pin a single type instead of chasing
+//! ad-hoc `repr(align)` wrappers.
+
+/// Wrap `T` so it is aligned to — and therefore alone on — a 64-byte cache
+/// line.  Dereferences transparently to `T`.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` onto its own cache line.
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_word_owns_its_cache_line() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // Adjacent vector elements land on distinct lines.
+        let v: Vec<CachePadded<AtomicU64>> = (0..4)
+            .map(|i| CachePadded::new(AtomicU64::new(i)))
+            .collect();
+        for pair in v.windows(2) {
+            let a = &pair[0] as *const _ as usize;
+            let b = &pair[1] as *const _ as usize;
+            assert!(b - a >= 64);
+        }
+    }
+
+    #[test]
+    fn deref_reaches_the_value() {
+        let w = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(w.load(Ordering::SeqCst), 7);
+        w.store(9, Ordering::SeqCst);
+        assert_eq!(w.into_inner().into_inner(), 9);
+    }
+}

@@ -44,11 +44,21 @@ const EMPTY: u64 = u64::MAX;
 /// [`HazardDomain::scan_threshold`], which scales with the domain size.
 pub const SCAN_THRESHOLD: usize = 64;
 
+/// One hazard slot, alone on its 64-byte cache line.  Each slot is written
+/// by exactly one thread (on every protect/clear) and read by all scanners;
+/// without the padding, neighbouring threads' publish traffic would
+/// false-share a line and serialize the hot path.  (This crate is
+/// dependency-free, so the padding is spelled locally rather than through
+/// `aba_core::CachePadded`.)
+#[derive(Debug)]
+#[repr(align(64))]
+struct PaddedSlot(AtomicU64);
+
 /// A hazard-pointer domain for `n` participating threads, each with one
 /// hazard slot.
 #[derive(Debug)]
 pub struct HazardDomain {
-    slots: Box<[AtomicU64]>,
+    slots: Box<[PaddedSlot]>,
     /// Retired values whose owning handle was dropped before they could be
     /// reclaimed (they were still protected at drop time, or the handle never
     /// flushed).  The next scan by *any* handle adopts and reclaims them, so
@@ -66,7 +76,7 @@ impl HazardDomain {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one thread");
         HazardDomain {
-            slots: (0..n).map(|_| AtomicU64::new(EMPTY)).collect(),
+            slots: (0..n).map(|_| PaddedSlot(AtomicU64::new(EMPTY))).collect(),
             orphans: Mutex::new(Vec::new()),
         }
     }
@@ -93,12 +103,14 @@ impl HazardDomain {
 
     /// Whether any thread currently protects `value`.
     pub fn is_protected(&self, value: u64) -> bool {
-        self.slots.iter().any(|s| s.load(Ordering::SeqCst) == value)
+        self.slots
+            .iter()
+            .any(|s| s.0.load(Ordering::SeqCst) == value)
     }
 
     /// The value currently protected by `tid`, if any.
     pub fn protected_by(&self, tid: usize) -> Option<u64> {
-        let v = self.slots[tid].load(Ordering::SeqCst);
+        let v = self.slots[tid].0.load(Ordering::SeqCst);
         (v != EMPTY).then_some(v)
     }
 
@@ -164,12 +176,12 @@ impl HazardHandle<'_> {
     /// Panics if `value` is `u64::MAX` (the internal sentinel).
     pub fn protect(&self, value: u64) {
         assert_ne!(value, EMPTY, "the sentinel cannot be protected");
-        self.domain.slots[self.tid].store(value, Ordering::SeqCst);
+        self.domain.slots[self.tid].0.store(value, Ordering::SeqCst);
     }
 
     /// Drop the current protection.
     pub fn clear(&self) {
-        self.domain.slots[self.tid].store(EMPTY, Ordering::SeqCst);
+        self.domain.slots[self.tid].0.store(EMPTY, Ordering::SeqCst);
     }
 
     /// Retire `value`: it will be handed to `free` once no thread protects
@@ -260,6 +272,21 @@ impl Drop for HazardHandle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hazard_slots_are_cache_line_padded() {
+        // Layout regression: each thread's hazard slot must own a full
+        // 64-byte line, so neighbouring protect/clear traffic never
+        // false-shares.
+        assert_eq!(std::mem::align_of::<PaddedSlot>(), 64);
+        assert_eq!(std::mem::size_of::<PaddedSlot>(), 64);
+        let d = HazardDomain::new(4);
+        for pair in d.slots.windows(2) {
+            let a = &pair[0] as *const _ as usize;
+            let b = &pair[1] as *const _ as usize;
+            assert!(b - a >= 64, "adjacent hazard slots share a cache line");
+        }
+    }
 
     #[test]
     fn unprotected_values_are_freed_immediately_on_flush() {

@@ -311,8 +311,12 @@ impl NodeArena {
     /// and empty-handed.
     pub fn alloc(&self) -> Option<u64> {
         // retry-bound: every round either returns an index, publishes one of
-        // the finitely many planned segments, or yields to the thread whose
-        // in-flight publication is about to refill the free list.
+        // the finitely many planned segments, or backs off behind the thread
+        // whose in-flight publication is about to refill the free list.  The
+        // backoff is local to the call (allocation is already serialized on
+        // the free-list lock, so there is no per-thread streak to carry) and
+        // seeded from the contended segment number for deterministic jitter.
+        let mut backoff: Option<aba_core::Backoff> = None;
         loop {
             if let Some(idx) = self.free.0.lock().expect("arena lock poisoned").pop() {
                 self.node(idx).generation.fetch_add(1, Ordering::SeqCst);
@@ -320,7 +324,11 @@ impl NodeArena {
             }
             match self.publish_next() {
                 Publish::Won => {}
-                Publish::Lost => std::thread::yield_now(),
+                Publish::Lost => backoff
+                    .get_or_insert_with(|| {
+                        aba_core::Backoff::new(self.published.0.load(Ordering::SeqCst) as u64)
+                    })
+                    .pause(),
                 Publish::Exhausted => return None,
             }
         }

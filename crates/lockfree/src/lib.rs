@@ -59,8 +59,9 @@ pub use set::{
     EpochSet, GenericSet, HazardSet, LlScSet, Set, SetHandle, TaggedSet, UnprotectedSet,
 };
 pub use stack::{
-    EpochStack, GenericStack, HazardStack, LlScStack, Stack, StackHandle, TaggedStack,
-    UnprotectedStack,
+    ElimPolicy, ElimStack, EpochElimStack, EpochStack, GenericStack, HazardElimStack, HazardStack,
+    LlScElimStack, LlScStack, Stack, StackHandle, TaggedElimStack, TaggedStack,
+    UnprotectedElimStack, UnprotectedStack,
 };
 pub use stress::{
     conservation_capacity, stress_map, stress_queue, stress_set, stress_stack, MapStressReport,
@@ -99,6 +100,45 @@ pub fn stack_builders() -> Vec<(&'static str, StackBuilder)> {
         (
             "stack/epoch",
             Box::new(|cap, threads| Box::new(EpochStack::new(cap, threads)) as Box<dyn Stack>),
+        ),
+    ]
+}
+
+/// Named builders for the elimination-backoff stack roster (experiment
+/// E14), one per reclamation scheme, mirroring [`stack_builders`].  The
+/// names are stable registry keys; adding a scheme appends a key, it never
+/// renames one (the roster-golden test in `aba-workload` pins this).
+pub fn elim_stack_builders() -> Vec<(&'static str, StackBuilder)> {
+    vec![
+        (
+            "stack-elim/unprotected",
+            Box::new(|cap, threads| {
+                Box::new(UnprotectedElimStack::with_threads(cap, threads)) as Box<dyn Stack>
+            }),
+        ),
+        (
+            "stack-elim/tagged",
+            Box::new(|cap, threads| {
+                Box::new(TaggedElimStack::with_threads(cap, threads)) as Box<dyn Stack>
+            }),
+        ),
+        (
+            "stack-elim/hazard",
+            Box::new(|cap, threads| {
+                Box::new(HazardElimStack::with_threads(cap, threads)) as Box<dyn Stack>
+            }),
+        ),
+        (
+            "stack-elim/llsc-head",
+            Box::new(|cap, threads| {
+                Box::new(LlScElimStack::with_threads(cap, threads)) as Box<dyn Stack>
+            }),
+        ),
+        (
+            "stack-elim/epoch",
+            Box::new(|cap, threads| {
+                Box::new(EpochElimStack::with_threads(cap, threads)) as Box<dyn Stack>
+            }),
         ),
     ]
 }
@@ -264,6 +304,28 @@ mod tests {
                 "stack/hazard",
                 "stack/llsc-head",
                 "stack/epoch",
+            ]
+        );
+        for (_, build) in builders {
+            let stack = build(4, 2);
+            let mut h = stack.handle(1);
+            assert!(h.push(9));
+            assert_eq!(h.pop(), Some(9));
+        }
+    }
+
+    #[test]
+    fn elim_builder_registry_names_are_stable_and_distinct() {
+        let builders = elim_stack_builders();
+        let names: Vec<_> = builders.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "stack-elim/unprotected",
+                "stack-elim/tagged",
+                "stack-elim/hazard",
+                "stack-elim/llsc-head",
+                "stack-elim/epoch",
             ]
         );
         for (_, build) in builders {

@@ -54,6 +54,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use aba_core::Backoff;
 use aba_reclaim::{
     EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
 };
@@ -325,6 +326,7 @@ impl<R: Reclaimer> Map for GenericMap<R> {
         Box::new(GenericMapHandle {
             map: self,
             guard: self.reclaim.guard(tid, self.arena.capacity()),
+            backoff: Backoff::new(tid as u64),
         })
     }
 }
@@ -332,6 +334,7 @@ impl<R: Reclaimer> Map for GenericMap<R> {
 struct GenericMapHandle<'a, R: Reclaimer> {
     map: &'a GenericMap<R>,
     guard: R::Guard<'a>,
+    backoff: Backoff,
 }
 
 impl<R: Reclaimer> std::fmt::Debug for GenericMapHandle<'_, R> {
@@ -619,8 +622,11 @@ impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
                 self.map.count.0.fetch_add(1, Ordering::SeqCst);
                 self.maybe_grow();
                 self.guard.quiesce();
+                self.backoff.reset();
                 return true;
             }
+            // Lost the splice race: back off before re-finding.
+            self.backoff.pause();
         }
     }
 
@@ -659,7 +665,9 @@ impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
                 .guard
                 .cas_link_mark(arena.next_word(t.cur), t.cur_next_raw, next, true)
             {
-                continue; // raced with another mutation on cur: re-find
+                // Raced with another mutation on cur: back off, then re-find.
+                self.backoff.pause();
+                continue;
             }
             self.map.count.0.fetch_sub(1, Ordering::SeqCst);
             // Physical unlink; on failure a helping traversal unlinks and
@@ -675,6 +683,7 @@ impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
             } else {
                 self.guard.quiesce();
             }
+            self.backoff.reset();
             return true;
         }
     }

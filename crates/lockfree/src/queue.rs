@@ -19,6 +19,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use aba_core::Backoff;
 use aba_reclaim::{
     EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
 };
@@ -125,6 +126,7 @@ impl<R: Reclaimer> Queue for GenericQueue<R> {
         Box::new(GenericQueueHandle {
             queue: self,
             guard: self.reclaim.guard(tid, self.arena.live_capacity()),
+            backoff: Backoff::new(tid as u64),
         })
     }
 }
@@ -132,6 +134,7 @@ impl<R: Reclaimer> Queue for GenericQueue<R> {
 struct GenericQueueHandle<'a, R: Reclaimer> {
     queue: &'a GenericQueue<R>,
     guard: R::Guard<'a>,
+    backoff: Backoff,
 }
 
 impl<R: Reclaimer> std::fmt::Debug for GenericQueueHandle<'_, R> {
@@ -210,8 +213,11 @@ impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
             if self.guard.cas_link(arena.next_word(tail), next_raw, idx) {
                 let _ = self.guard.cas(q.tail, tail_raw, idx);
                 self.guard.quiesce();
+                self.backoff.reset();
                 return true;
             }
+            // Lost the link race: back off before re-reading the tail.
+            self.backoff.pause();
         }
         // Retry budget exhausted: an ABA corrupted the chain (e.g. tail sits
         // on a cycle).  Give the node back and report the event.
@@ -271,8 +277,11 @@ impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
                     q.aba_events.fetch_add(1, Ordering::SeqCst);
                 }
                 self.guard.retire(head, |i| arena.free(i));
+                self.backoff.reset();
                 return Some(value);
             }
+            // Lost the head race: back off before re-protecting.
+            self.backoff.pause();
         }
         q.aba_events.fetch_add(1, Ordering::SeqCst);
         self.guard.quiesce();

@@ -29,6 +29,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use aba_core::Backoff;
 use aba_reclaim::{
     EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
 };
@@ -126,6 +127,7 @@ impl<R: Reclaimer> Set for GenericSet<R> {
         Box::new(GenericSetHandle {
             set: self,
             guard: self.reclaim.guard(tid, self.arena.live_capacity()),
+            backoff: Backoff::new(tid as u64),
         })
     }
 }
@@ -133,6 +135,7 @@ impl<R: Reclaimer> Set for GenericSet<R> {
 struct GenericSetHandle<'a, R: Reclaimer> {
     set: &'a GenericSet<R>,
     guard: R::Guard<'a>,
+    backoff: Backoff,
 }
 
 impl<R: Reclaimer> std::fmt::Debug for GenericSetHandle<'_, R> {
@@ -358,8 +361,11 @@ impl<R: Reclaimer> SetHandle for GenericSetHandle<'_, R> {
                     }
                 }
                 self.guard.quiesce();
+                self.backoff.reset();
                 return true;
             }
+            // Lost the splice race: back off before re-finding.
+            self.backoff.pause();
         }
     }
 
@@ -387,7 +393,9 @@ impl<R: Reclaimer> SetHandle for GenericSetHandle<'_, R> {
                 .guard
                 .cas_link_mark(arena.next_word(t.cur), t.cur_next_raw, next, true)
             {
-                continue; // raced with another mutation on cur: re-find
+                // Raced with another mutation on cur: back off, then re-find.
+                self.backoff.pause();
+                continue;
             }
             // Physical unlink.  On failure some helper's traversal will (or
             // already did) unlink and retire the node — exactly one thread
@@ -400,6 +408,7 @@ impl<R: Reclaimer> SetHandle for GenericSetHandle<'_, R> {
             } else {
                 self.guard.quiesce();
             }
+            self.backoff.reset();
             return true;
         }
     }

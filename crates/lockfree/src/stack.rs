@@ -13,9 +13,17 @@
 //! | [`HazardStack`] | [`HazardReclaim`] | reclamation deferral [20, 21] | correct |
 //! | [`EpochStack`] | [`EpochReclaim`] | epoch / quiescence reclamation | correct |
 //! | [`LlScStack`] | [`LlScReclaim`] | LL/SC semantics (Theorem 2 context) | correct |
+//!
+//! [`ElimStack`]`<R>` layers an *elimination array* (Hendler, Shavit &
+//! Yerushalmi, SPAA'04) in front of any of the five: once the central head
+//! CAS has failed a bounded streak of attempts, a push parks its value in a
+//! cache-line-padded exchange slot and a colliding pop takes it directly,
+//! off-stack.  Exchanged values never touch the [`NodeArena`], so the
+//! protocol is orthogonal to the reclamation scheme — see DESIGN.md §11.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use aba_core::Backoff;
 use aba_reclaim::{
     EpochReclaim, Guard, HazardReclaim, LlScReclaim, NoReclaim, Reclaimer, SlotId, TagReclaim,
 };
@@ -102,16 +110,34 @@ impl<R: Reclaimer> Stack for GenericStack<R> {
     }
 
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
-        Box::new(GenericStackHandle {
-            stack: self,
-            guard: self.reclaim.guard(tid, self.arena.live_capacity()),
-        })
+        Box::new(GenericStackHandle::new(self, tid))
     }
+}
+
+/// Outcome of one bounded-attempt round against the central Treiber stack.
+enum CentralPush {
+    /// The node was linked in.
+    Pushed,
+    /// Arena exhausted even after reclaim pressure.
+    Full,
+    /// The head CAS lost `max_attempts` races in a row.
+    Contended,
+}
+
+/// Outcome of one bounded-attempt round against the central Treiber stack.
+enum CentralPop {
+    /// A node was unlinked and its value read.
+    Popped(u32),
+    /// The stack was observed empty.
+    Empty,
+    /// The head CAS lost `max_attempts` races in a row.
+    Contended,
 }
 
 struct GenericStackHandle<'a, R: Reclaimer> {
     stack: &'a GenericStack<R>,
     guard: R::Guard<'a>,
+    backoff: Backoff,
 }
 
 impl<R: Reclaimer> std::fmt::Debug for GenericStackHandle<'_, R> {
@@ -120,8 +146,23 @@ impl<R: Reclaimer> std::fmt::Debug for GenericStackHandle<'_, R> {
     }
 }
 
-impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
-    fn push(&mut self, value: u32) -> bool {
+impl<'a, R: Reclaimer> GenericStackHandle<'a, R> {
+    fn new(stack: &'a GenericStack<R>, tid: usize) -> Self {
+        GenericStackHandle {
+            stack,
+            guard: stack.reclaim.guard(tid, stack.arena.live_capacity()),
+            backoff: Backoff::new(tid as u64),
+        }
+    }
+
+    /// Try to link a new node at the head, giving up after `max_attempts`
+    /// failed CAS rounds (the elimination front end passes a small streak
+    /// bound; the plain stack passes `usize::MAX`, preserving the original
+    /// unbounded-but-lock-free loop).
+    fn try_push_central(&mut self, value: u32, max_attempts: usize) -> CentralPush {
+        if max_attempts == 0 {
+            return CentralPush::Contended;
+        }
         let stack = self.stack;
         let arena = &stack.arena;
         let idx = match arena.alloc() {
@@ -133,11 +174,13 @@ impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
                 self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
-                    None => return false,
+                    None => return CentralPush::Full,
                 }
             }
         };
         arena.set_value(idx, value);
+        // retry-bound: at most `max_attempts` CAS rounds per call.
+        let mut attempts = 0;
         loop {
             // A plain load suffices: push never dereferences the head node,
             // it only links to it.
@@ -146,23 +189,40 @@ impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
                 .store_link(arena.next_word(idx), self.guard.index_of(head_raw));
             if self.guard.cas(stack.head, head_raw, idx) {
                 self.guard.quiesce();
-                return true;
+                self.backoff.reset();
+                return CentralPush::Pushed;
             }
-            // Lost the race: yield before retrying so the winning thread can
-            // finish publishing and the loop cannot monopolise a core.
-            std::thread::yield_now();
+            attempts += 1;
+            if attempts >= max_attempts {
+                // The node was never published, so it can go straight back
+                // to the arena.
+                arena.free(idx);
+                self.guard.quiesce();
+                return CentralPush::Contended;
+            }
+            // Lost the race: back off before retrying so the winning thread
+            // can finish publishing and the loop cannot monopolise a core.
+            self.backoff.pause();
         }
     }
 
-    fn pop(&mut self) -> Option<u32> {
+    /// Try to unlink the head node, giving up after `max_attempts` failed
+    /// CAS rounds (see [`Self::try_push_central`]).
+    fn try_pop_central(&mut self, max_attempts: usize) -> CentralPop {
+        if max_attempts == 0 {
+            return CentralPop::Contended;
+        }
         let stack = self.stack;
         let arena = &stack.arena;
+        // retry-bound: at most `max_attempts` CAS rounds per call.
+        let mut attempts = 0;
         loop {
             let head_raw = self.guard.protect(0, stack.head);
             let head = self.guard.index_of(head_raw);
             if head == NIL {
                 self.guard.quiesce();
-                return None;
+                self.backoff.reset();
+                return CentralPop::Empty;
             }
             // Remember the node's identity (generation) at read time; for
             // the unprotected scheme the post-CAS comparison detects, post
@@ -180,10 +240,34 @@ impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
                 // may recycle the node the instant it is handed back.
                 let value = arena.value(head);
                 self.guard.retire(head, |i| arena.free(i));
-                return Some(value);
+                self.backoff.reset();
+                return CentralPop::Popped(value);
             }
-            // Lost the race: yield before re-protecting the new head.
-            std::thread::yield_now();
+            attempts += 1;
+            if attempts >= max_attempts {
+                self.guard.quiesce();
+                return CentralPop::Contended;
+            }
+            // Lost the race: back off before re-protecting the new head.
+            self.backoff.pause();
+        }
+    }
+}
+
+impl<R: Reclaimer> StackHandle for GenericStackHandle<'_, R> {
+    fn push(&mut self, value: u32) -> bool {
+        match self.try_push_central(value, usize::MAX) {
+            CentralPush::Pushed => true,
+            CentralPush::Full => false,
+            CentralPush::Contended => unreachable!("usize::MAX attempts cannot exhaust"),
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        match self.try_pop_central(usize::MAX) {
+            CentralPop::Popped(value) => Some(value),
+            CentralPop::Empty => None,
+            CentralPop::Contended => unreachable!("usize::MAX attempts cannot exhaust"),
         }
     }
 }
@@ -197,6 +281,329 @@ impl<R: Reclaimer> Drop for GenericStackHandle<'_, R> {
         // domain by the guard's own drop and adopted by a later reclaim.
     }
 }
+
+// ---------------------------------------------------------------------------
+// Elimination-backoff front end (Hendler, Shavit & Yerushalmi, SPAA'04)
+// ---------------------------------------------------------------------------
+
+/// Exchange-slot states, stored in bits 33:32 of the slot word.
+const ELIM_EMPTY: u64 = 0;
+/// A parked pusher's value is in the slot, waiting for a popper.
+const ELIM_ITEM: u64 = 1;
+/// A popper claimed the value; the owning pusher acknowledges and clears.
+const ELIM_TAKEN: u64 = 2;
+
+/// Sequence-number width.  The sequence makes each slot occupancy unique so
+/// a pusher's timeout CAS can only cancel *its own* parked item, never a
+/// later occupant that happens to carry the same value — the slot-word
+/// analogue of the tagging scheme's ABA defence.
+const ELIM_SEQ_BITS: u64 = 30;
+
+/// Pack `(seq, state, value)` into one CAS word:
+/// `[seq:30][state:2][value:32]`.
+fn elim_word(seq: u64, state: u64, value: u32) -> u64 {
+    ((seq & ((1 << ELIM_SEQ_BITS) - 1)) << 34) | (state << 32) | u64::from(value)
+}
+
+fn elim_state(word: u64) -> u64 {
+    (word >> 32) & 0b11
+}
+
+fn elim_seq(word: u64) -> u64 {
+    word >> 34
+}
+
+fn elim_value(word: u64) -> u32 {
+    word as u32
+}
+
+/// One exchange word, alone on its cache line so that parked pushers and
+/// scanning poppers never false-share with neighbouring slots.
+#[repr(align(64))]
+#[derive(Debug)]
+struct ExchangeSlot {
+    word: AtomicU64,
+}
+
+impl ExchangeSlot {
+    fn new() -> Self {
+        ExchangeSlot {
+            word: AtomicU64::new(elim_word(0, ELIM_EMPTY, 0)),
+        }
+    }
+}
+
+/// Tuning knobs for the elimination front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ElimPolicy {
+    /// Failed head-CAS streak after which an operation diverts to the
+    /// elimination array.  `0` disables the central stack entirely (every
+    /// operation must eliminate) — useful only in forced-collision tests,
+    /// since a lone push can then never complete, and an arena-full
+    /// condition is never reported.
+    pub central_attempts: usize,
+    /// Bounded number of wait rounds (one scheduler yield each) a parked
+    /// pusher spends in its slot before cancelling and returning to the
+    /// central stack.
+    pub exchange_spins: usize,
+}
+
+impl Default for ElimPolicy {
+    fn default() -> Self {
+        // central_attempts: long enough that the uncontended path never
+        // diverts, short enough to divert within one backoff spin phase.
+        // exchange_spins: a parked pusher waits a handful of yields — a
+        // colliding popper on the same slot arrives within one scheduling
+        // round or not at all.
+        ElimPolicy {
+            central_attempts: 2,
+            exchange_spins: 8,
+        }
+    }
+}
+
+/// [`GenericStack`] with an elimination array in front of it.
+///
+/// Push and pop first try the central Treiber stack; after
+/// [`ElimPolicy::central_attempts`] consecutive failed head CASes they
+/// divert to a fixed array of cache-line-padded exchange slots, where a
+/// colliding push/pop pair trades the value directly and returns without
+/// ever touching the head word — converting contention into throughput.
+/// A parked push that no popper meets within
+/// [`ElimPolicy::exchange_spins`] wait rounds cancels and returns to the
+/// central stack, so every operation remains lock-free.
+///
+/// **Scheme orthogonality.** Exchanged values travel slot-word → register,
+/// never through the [`NodeArena`]: no node is allocated, retired, or
+/// reclaimed for an eliminated pair, so all five [`Reclaimer`] encodings
+/// work unchanged underneath (the slot word carries its own sequence
+/// number, which is all the ABA protection *it* needs).
+///
+/// **Linearizability.** An eliminated pair always overlaps in real time
+/// (the pusher is still parked when the popper claims the value), so the
+/// pair linearizes back-to-back — push immediately followed by the
+/// matching pop — leaving the abstract stack unchanged; `aba-spec`'s
+/// `check_stack_history` accepts such histories and the elimination tests
+/// exercise it.
+#[derive(Debug)]
+pub struct ElimStack<R: Reclaimer> {
+    inner: GenericStack<R>,
+    slots: Box<[ExchangeSlot]>,
+    policy: ElimPolicy,
+    exchanges: AtomicU64,
+}
+
+impl<R: Reclaimer> ElimStack<R> {
+    /// An elimination-backoff stack backed by `capacity` nodes, used by at
+    /// most `threads` threads, with the default [`ElimPolicy`].
+    pub fn with_threads(capacity: usize, threads: usize) -> Self {
+        Self::with_policy(capacity, threads, ElimPolicy::default())
+    }
+
+    /// As [`Self::with_threads`], with explicit tuning knobs.
+    pub fn with_policy(capacity: usize, threads: usize, policy: ElimPolicy) -> Self {
+        // One slot per pair of threads, clamped: below 2 threads collisions
+        // are impossible, and past 8 slots a popper's scan costs more than
+        // the contention it avoids.
+        let slot_count = (threads / 2).clamp(1, 8);
+        ElimStack {
+            inner: GenericStack::with_threads(capacity, threads),
+            slots: (0..slot_count).map(|_| ExchangeSlot::new()).collect(),
+            policy,
+            exchanges: AtomicU64::new(0),
+        }
+    }
+
+    /// The reclamation scheme's short name ("unprotected", "epoch", …).
+    pub fn scheme(&self) -> &'static str {
+        self.inner.scheme()
+    }
+
+    /// Number of push/pop pairs that exchanged values off-stack (counted
+    /// once per pair, on the popper's claim).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges.load(Ordering::SeqCst)
+    }
+}
+
+impl<R: Reclaimer> Stack for ElimStack<R> {
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.inner.scheme() {
+            "unprotected" => "Treiber+elim (unprotected)",
+            "tagged" => "Treiber+elim (tagged)",
+            "hazard pointers" => "Treiber+elim (hazard pointers)",
+            "epoch" => "Treiber+elim (epoch)",
+            "LL/SC" => "Treiber+elim (LL/SC)",
+            other => unreachable!("unknown scheme {other}"),
+        }
+    }
+
+    fn aba_events(&self) -> u64 {
+        self.inner.aba_events()
+    }
+
+    fn unreclaimed(&self) -> u64 {
+        self.inner.unreclaimed()
+    }
+
+    fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
+        Box::new(ElimStackHandle {
+            stack: self,
+            central: GenericStackHandle::new(&self.inner, tid),
+            backoff: Backoff::new(tid as u64 ^ 0x5157_454c_494d), // decorrelate from the central handle's stream
+        })
+    }
+}
+
+struct ElimStackHandle<'a, R: Reclaimer> {
+    stack: &'a ElimStack<R>,
+    central: GenericStackHandle<'a, R>,
+    backoff: Backoff,
+}
+
+impl<R: Reclaimer> std::fmt::Debug for ElimStackHandle<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElimStackHandle").finish_non_exhaustive()
+    }
+}
+
+impl<R: Reclaimer> ElimStackHandle<'_, R> {
+    /// Park `value` in a randomly chosen empty slot and wait (bounded) for
+    /// a popper.  `true` iff a popper claimed the value — the push is then
+    /// complete without the central stack ever being touched.
+    fn try_exchange_push(&mut self, value: u32) -> bool {
+        let slots = &self.stack.slots;
+        let slot = &slots[(self.backoff.next_rand() as usize) % slots.len()];
+        let observed = slot.word.load(Ordering::SeqCst);
+        if elim_state(observed) != ELIM_EMPTY {
+            // Someone else is mid-exchange here; don't pile on.
+            return false;
+        }
+        let seq = elim_seq(observed).wrapping_add(1);
+        let parked = elim_word(seq, ELIM_ITEM, value);
+        let taken = elim_word(seq, ELIM_TAKEN, value);
+        let cleared = elim_word(seq.wrapping_add(1), ELIM_EMPTY, 0);
+        if slot
+            .word
+            .compare_exchange(observed, parked, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        // retry-bound: exchange_spins wait rounds, then cancel.
+        for _ in 0..self.stack.policy.exchange_spins {
+            if slot.word.load(Ordering::SeqCst) == taken {
+                slot.word.store(cleared, Ordering::SeqCst);
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        // Timed out: cancel — unless a popper claimed the value in the
+        // meantime, in which case the only possible slot transition was
+        // parked → taken, and the exchange succeeded after all.
+        if slot
+            .word
+            .compare_exchange(parked, cleared, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return false;
+        }
+        debug_assert_eq!(slot.word.load(Ordering::SeqCst), taken);
+        slot.word.store(cleared, Ordering::SeqCst);
+        true
+    }
+
+    /// Scan the elimination array for a parked pusher and claim its value.
+    fn try_exchange_pop(&mut self) -> Option<u32> {
+        let slots = &self.stack.slots;
+        let start = (self.backoff.next_rand() as usize) % slots.len();
+        // retry-bound: one pass over the (fixed-size) slot array.
+        for k in 0..slots.len() {
+            let slot = &slots[(start + k) % slots.len()];
+            let observed = slot.word.load(Ordering::SeqCst);
+            if elim_state(observed) != ELIM_ITEM {
+                continue;
+            }
+            let taken = elim_word(elim_seq(observed), ELIM_TAKEN, elim_value(observed));
+            if slot
+                .word
+                .compare_exchange(observed, taken, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // One exchange = one claim; the parked pusher sees TAKEN and
+                // completes without counting.
+                self.stack.exchanges.fetch_add(1, Ordering::SeqCst);
+                return Some(elim_value(observed));
+            }
+        }
+        None
+    }
+}
+
+impl<R: Reclaimer> StackHandle for ElimStackHandle<'_, R> {
+    fn push(&mut self, value: u32) -> bool {
+        // retry-bound: each round is bounded (central_attempts CAS rounds +
+        // exchange_spins wait rounds); the loop itself has the same
+        // unbounded-but-lock-free shape as GenericStack::push.
+        loop {
+            match self
+                .central
+                .try_push_central(value, self.stack.policy.central_attempts)
+            {
+                CentralPush::Pushed => return true,
+                CentralPush::Full => return false,
+                CentralPush::Contended => {
+                    if self.try_exchange_push(value) {
+                        self.backoff.reset();
+                        return true;
+                    }
+                    self.backoff.pause();
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        // retry-bound: see push above.
+        loop {
+            match self
+                .central
+                .try_pop_central(self.stack.policy.central_attempts)
+            {
+                CentralPop::Popped(value) => return Some(value),
+                CentralPop::Empty => {
+                    // The central stack is empty, but a parked pusher may be
+                    // sitting in the array; its push overlaps this pop, so
+                    // claiming it is admissible — and returning None
+                    // otherwise is too (the pair did not exchange).
+                    return self.try_exchange_pop();
+                }
+                CentralPop::Contended => {
+                    if let Some(value) = self.try_exchange_pop() {
+                        self.backoff.reset();
+                        return Some(value);
+                    }
+                    self.backoff.pause();
+                }
+            }
+        }
+    }
+}
+
+/// Elimination-backoff stack over the unprotected scheme.
+pub type UnprotectedElimStack = ElimStack<NoReclaim>;
+/// Elimination-backoff stack over the tagging scheme.
+pub type TaggedElimStack = ElimStack<TagReclaim>;
+/// Elimination-backoff stack over hazard pointers.
+pub type HazardElimStack = ElimStack<HazardReclaim>;
+/// Elimination-backoff stack over epoch reclamation.
+pub type EpochElimStack = ElimStack<EpochReclaim>;
+/// Elimination-backoff stack over the LL/SC head.
+pub type LlScElimStack = ElimStack<LlScReclaim>;
 
 /// Treiber stack with a bare-index head and immediate node recycling — the
 /// textbook ABA victim.
@@ -281,6 +688,108 @@ mod tests {
     }
 
     #[test]
+    fn elim_variants_are_lifo_sequentially() {
+        lifo_smoke(&UnprotectedElimStack::with_threads(8, 2));
+        lifo_smoke(&TaggedElimStack::with_threads(8, 2));
+        lifo_smoke(&HazardElimStack::with_threads(8, 2));
+        lifo_smoke(&EpochElimStack::with_threads(8, 2));
+        lifo_smoke(&LlScElimStack::with_threads(8, 2));
+    }
+
+    #[test]
+    fn elim_capacity_is_respected() {
+        let stack = TaggedElimStack::with_threads(2, 2);
+        let mut h = stack.handle(0);
+        assert!(h.push(1));
+        assert!(h.push(2));
+        assert!(!h.push(3));
+        assert_eq!(h.pop(), Some(2));
+        assert!(h.push(3));
+    }
+
+    #[test]
+    fn exchange_slot_word_encoding_round_trips() {
+        let w = elim_word(12345, ELIM_ITEM, 0xdead_beef);
+        assert_eq!(elim_seq(w), 12345);
+        assert_eq!(elim_state(w), ELIM_ITEM);
+        assert_eq!(elim_value(w), 0xdead_beef);
+        // The sequence wraps inside its field instead of spilling into it.
+        let wrapped = elim_word((1 << ELIM_SEQ_BITS) + 7, ELIM_TAKEN, 1);
+        assert_eq!(elim_seq(wrapped), 7);
+        assert_eq!(elim_state(wrapped), ELIM_TAKEN);
+    }
+
+    #[test]
+    fn exchange_slots_are_cache_line_padded() {
+        // Elimination slots share an array; padding keeps a parked pusher's
+        // spin from invalidating its neighbour's line (layout regression
+        // test, companion to the arena's node-layout test).
+        assert_eq!(std::mem::size_of::<ExchangeSlot>(), 64);
+        assert_eq!(std::mem::align_of::<ExchangeSlot>(), 64);
+    }
+
+    #[test]
+    fn forced_collisions_exchange_off_stack() {
+        // central_attempts = 0 disables the central stack: every value MUST
+        // travel through the elimination array, so this pins the exchange
+        // protocol itself (not the central-stack fallback).
+        const OPS: u32 = 200;
+        let stack = TaggedElimStack::with_policy(
+            8,
+            2,
+            ElimPolicy {
+                central_attempts: 0,
+                exchange_spins: 64,
+            },
+        );
+        let popped = std::thread::scope(|s| {
+            let pusher = s.spawn(|| {
+                let mut h = stack.handle(0);
+                for v in 0..OPS {
+                    assert!(h.push(v));
+                }
+            });
+            let popper = s.spawn(|| {
+                let mut h = stack.handle(1);
+                let mut got = Vec::new();
+                while got.len() < OPS as usize {
+                    if let Some(v) = h.pop() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            pusher.join().unwrap();
+            popper.join().unwrap()
+        });
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..OPS).collect::<Vec<_>>());
+        // Every pair eliminated; nothing ever touched the arena.
+        assert_eq!(stack.exchanges(), u64::from(OPS));
+        assert_eq!(stack.aba_events(), 0);
+        assert_eq!(stack.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn elim_stack_parked_pusher_times_out_back_to_central() {
+        // A lone pusher under an elimination-eager policy must still make
+        // progress: the park times out and the central stack absorbs it.
+        let stack = EpochElimStack::with_policy(
+            4,
+            2,
+            ElimPolicy {
+                central_attempts: 1,
+                exchange_spins: 2,
+            },
+        );
+        let mut h = stack.handle(0);
+        assert!(h.push(7));
+        assert_eq!(h.pop(), Some(7));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
     fn capacity_is_respected() {
         let stack = TaggedStack::new(2);
         let mut h = stack.handle(0);
@@ -318,11 +827,16 @@ mod tests {
             HazardStack::new(1, 1).name(),
             EpochStack::new(1, 1).name(),
             LlScStack::new(1, 1).name(),
+            UnprotectedElimStack::with_threads(1, 1).name(),
+            TaggedElimStack::with_threads(1, 1).name(),
+            HazardElimStack::with_threads(1, 1).name(),
+            EpochElimStack::with_threads(1, 1).name(),
+            LlScElimStack::with_threads(1, 1).name(),
         ];
         let mut unique = names.to_vec();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 5);
+        assert_eq!(unique.len(), 10);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 
 use std::collections::VecDeque;
 
-use aba_lockfree::{map_builders, queue_builders, set_builders, stack_builders};
+use aba_lockfree::{
+    elim_stack_builders, map_builders, queue_builders, set_builders, stack_builders,
+};
 use aba_sim::minimize_violation_schedule as shrink_ops;
 use aba_spec::{SeqMap, SeqOrderedSet};
 use proptest::prelude::*;
@@ -54,7 +56,10 @@ fn stack_op() -> impl Strategy<Value = StackOp> {
 /// First `(backend, op index, detail)` where a stack backend disagrees with
 /// the `Vec` model, if any.
 fn stack_divergence(ops: &[StackOp]) -> Option<String> {
-    for (name, build) in stack_builders() {
+    // The elimination variants join the plain roster: single-threaded there
+    // is never a partner to exchange with, so every parked value must time
+    // out back to the central stack and the replay must still agree exactly.
+    for (name, build) in stack_builders().into_iter().chain(elim_stack_builders()) {
         let stack = build(CAPACITY, 1);
         let mut handle = stack.handle(0);
         let mut model: Vec<u32> = Vec::new();

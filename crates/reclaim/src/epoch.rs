@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use aba_core::CachePadded;
+
 use crate::{Guard, Reclaimer, SlotId};
 
 /// Maximum retirements between a guard's epoch-advance attempts (amortizes
@@ -41,9 +43,11 @@ pub struct EpochReclaim {
     /// The global epoch.
     global: AtomicU64,
     /// `locals[t]`: 0 when thread `t` is quiescent, `e + 1` when it is
-    /// pinned at epoch `e`.
-    locals: Box<[AtomicU64]>,
-    slots: Vec<AtomicU64>,
+    /// pinned at epoch `e`.  Each local epoch is written by one thread on
+    /// every pin/unpin and scanned by advancers — padded so two threads'
+    /// pin traffic never shares a cache line.
+    locals: Box<[CachePadded<AtomicU64>]>,
+    slots: Vec<CachePadded<AtomicU64>>,
     /// Retired-but-not-freed node count across all guards (the scheme's
     /// space overhead).
     unreclaimed: AtomicU64,
@@ -62,7 +66,9 @@ impl Reclaimer for EpochReclaim {
     fn new(threads: usize, _lanes: usize) -> Self {
         EpochReclaim {
             global: AtomicU64::new(0),
-            locals: (0..threads.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            locals: (0..threads.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             slots: Vec::new(),
             unreclaimed: AtomicU64::new(0),
             orphans: Mutex::new(Vec::new()),
@@ -71,7 +77,7 @@ impl Reclaimer for EpochReclaim {
     }
 
     fn add_slot(&mut self, idx: u64) -> SlotId {
-        self.slots.push(AtomicU64::new(idx));
+        self.slots.push(CachePadded::new(AtomicU64::new(idx)));
         self.slots.len() - 1
     }
 
@@ -356,6 +362,28 @@ impl Drop for EpochGuard<'_> {
 mod tests {
     use super::*;
     use crate::NIL;
+
+    /// Layout regression: per-thread local-epoch words (written on every
+    /// pin/unpin) and registered structure slots must each own a 64-byte
+    /// cache line.
+    #[test]
+    fn local_epochs_and_slots_are_cache_line_padded() {
+        let mut r = EpochReclaim::new(4, 1);
+        let _ = r.add_slot(NIL);
+        let _ = r.add_slot(NIL);
+        for pair in r.locals.windows(2) {
+            let a = &pair[0] as *const _ as usize;
+            let b = &pair[1] as *const _ as usize;
+            assert_eq!(a % 64, 0, "local epoch misaligned");
+            assert!(b - a >= 64, "adjacent local epochs share a cache line");
+        }
+        let a = &r.slots[0] as *const _ as usize;
+        let b = &r.slots[1] as *const _ as usize;
+        assert!(
+            a.is_multiple_of(64) && b - a >= 64,
+            "epoch slots share a cache line"
+        );
+    }
 
     #[test]
     fn nodes_are_freed_only_after_two_advances() {

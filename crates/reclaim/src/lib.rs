@@ -31,6 +31,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use aba_core::pack::TagWord;
+use aba_core::CachePadded;
 use aba_core::{AnnounceLlSc, AnnounceLlScHandle};
 use aba_hazard::HazardDomain;
 
@@ -290,7 +291,7 @@ pub trait Guard: Send {
 /// textbook ABA victim, kept as the experiments' baseline.
 #[derive(Debug, Default)]
 pub struct NoReclaim {
-    slots: Vec<AtomicU64>,
+    slots: Vec<CachePadded<AtomicU64>>,
 }
 
 impl Reclaimer for NoReclaim {
@@ -301,7 +302,7 @@ impl Reclaimer for NoReclaim {
     }
 
     fn add_slot(&mut self, idx: u64) -> SlotId {
-        self.slots.push(AtomicU64::new(idx));
+        self.slots.push(CachePadded::new(AtomicU64::new(idx)));
         self.slots.len() - 1
     }
 
@@ -340,7 +341,7 @@ impl Reclaimer for NoReclaim {
 /// Guard of [`NoReclaim`]: plain loads and CASes.
 #[derive(Debug)]
 pub struct NoGuard<'a> {
-    slots: &'a [AtomicU64],
+    slots: &'a [CachePadded<AtomicU64>],
 }
 
 impl Guard for NoGuard<'_> {
@@ -441,7 +442,7 @@ fn tag_encode(idx: u64) -> u32 {
 /// previous incarnation.  Nodes are freed immediately.
 #[derive(Debug, Default)]
 pub struct TagReclaim {
-    slots: Vec<AtomicU64>,
+    slots: Vec<CachePadded<AtomicU64>>,
 }
 
 impl Reclaimer for TagReclaim {
@@ -452,13 +453,13 @@ impl Reclaimer for TagReclaim {
     }
 
     fn add_slot(&mut self, idx: u64) -> SlotId {
-        self.slots.push(AtomicU64::new(
+        self.slots.push(CachePadded::new(AtomicU64::new(
             TagWord {
                 value: tag_encode(idx),
                 tag: 0,
             }
             .pack(),
-        ));
+        )));
         self.slots.len() - 1
     }
 
@@ -490,7 +491,7 @@ impl Reclaimer for TagReclaim {
 /// Guard of [`TagReclaim`]: packed-word loads, tag-bumping CASes.
 #[derive(Debug)]
 pub struct TagGuard<'a> {
-    slots: &'a [AtomicU64],
+    slots: &'a [CachePadded<AtomicU64>],
 }
 
 impl TagGuard<'_> {
@@ -605,7 +606,7 @@ impl Guard for TagGuard<'_> {
 #[derive(Debug)]
 pub struct HazardReclaim {
     domain: HazardDomain,
-    slots: Vec<AtomicU64>,
+    slots: Vec<CachePadded<AtomicU64>>,
     lanes: usize,
     unreclaimed: AtomicU64,
 }
@@ -624,7 +625,7 @@ impl Reclaimer for HazardReclaim {
     }
 
     fn add_slot(&mut self, idx: u64) -> SlotId {
-        self.slots.push(AtomicU64::new(idx));
+        self.slots.push(CachePadded::new(AtomicU64::new(idx)));
         self.slots.len() - 1
     }
 
@@ -675,7 +676,7 @@ impl HazardReclaim {
 /// list carried by lane 0's handle.
 pub struct HazardGuard<'a> {
     lanes: Vec<aba_hazard::HazardHandle<'a>>,
-    slots: &'a [AtomicU64],
+    slots: &'a [CachePadded<AtomicU64>],
     unreclaimed: &'a AtomicU64,
     capacity: usize,
 }
@@ -1028,6 +1029,32 @@ mod tests {
         link_roundtrip::<HazardReclaim>();
         link_roundtrip::<EpochReclaim>();
         link_roundtrip::<LlScReclaim>();
+    }
+
+    /// Layout regression: the structure hot words (stack heads, queue
+    /// heads/tails) registered through `add_slot` must each own a 64-byte
+    /// cache line, or head and tail of the same queue false-share.
+    #[test]
+    fn registered_slots_are_cache_line_padded() {
+        fn stride_check<R: Reclaimer>(slot_addr: impl Fn(&R, SlotId) -> usize) {
+            let mut r = R::new(2, 2);
+            let a = r.add_slot(NIL);
+            let b = r.add_slot(NIL);
+            let (pa, pb) = (slot_addr(&r, a), slot_addr(&r, b));
+            assert!(
+                pa.is_multiple_of(64) && pb.is_multiple_of(64),
+                "{}: slot misaligned",
+                r.scheme()
+            );
+            assert!(
+                pb.abs_diff(pa) >= 64,
+                "{}: adjacent slots share a cache line",
+                r.scheme()
+            );
+        }
+        stride_check::<NoReclaim>(|r, s| &r.slots[s] as *const _ as usize);
+        stride_check::<TagReclaim>(|r, s| &r.slots[s] as *const _ as usize);
+        stride_check::<HazardReclaim>(|r, s| &r.slots[s] as *const _ as usize);
     }
 
     #[test]

@@ -62,6 +62,21 @@ pub enum OpKind {
         /// Dequeued value, if any.
         value: Option<Word>,
     },
+    /// `Push(x)` on a LIFO stack, with whether a node was actually linked
+    /// (`ok == false` models an arena-exhausted attempt, which never touches
+    /// the abstract stack).
+    Push {
+        /// Pushed value.
+        value: Word,
+        /// Whether the push took effect.
+        ok: bool,
+    },
+    /// `Pop()` on a LIFO stack, with the value it returned (`None` for an
+    /// empty stack).
+    Pop {
+        /// Popped value, if any.
+        value: Option<Word>,
+    },
     /// `Insert(k)` on an ordered set, with whether a node was actually
     /// linked (`ok == false` covers both "key already present" and an
     /// arena-exhausted attempt; either way the abstract set is untouched).
@@ -125,6 +140,8 @@ impl OpKind {
                 | OpKind::Sc { success: true, .. }
                 | OpKind::Enqueue { ok: true, .. }
                 | OpKind::Dequeue { value: Some(_) }
+                | OpKind::Push { ok: true, .. }
+                | OpKind::Pop { value: Some(_) }
                 | OpKind::Insert { ok: true, .. }
                 | OpKind::Remove { ok: true, .. }
                 | OpKind::MapInsert { ok: true, .. }
@@ -144,6 +161,9 @@ impl fmt::Display for OpKind {
             OpKind::Enqueue { value, ok } => write!(f, "Enqueue({value}) -> {ok}"),
             OpKind::Dequeue { value: Some(v) } => write!(f, "Dequeue() -> {v}"),
             OpKind::Dequeue { value: None } => write!(f, "Dequeue() -> empty"),
+            OpKind::Push { value, ok } => write!(f, "Push({value}) -> {ok}"),
+            OpKind::Pop { value: Some(v) } => write!(f, "Pop() -> {v}"),
+            OpKind::Pop { value: None } => write!(f, "Pop() -> empty"),
             OpKind::Insert { key, ok } => write!(f, "Insert({key}) -> {ok}"),
             OpKind::Remove { key, ok } => write!(f, "Remove({key}) -> {ok}"),
             OpKind::Contains { key, found } => write!(f, "Contains({key}) -> {found}"),
@@ -441,6 +461,24 @@ mod tests {
             format!("{}", OpKind::Dequeue { value: None }),
             "Dequeue() -> empty"
         );
+    }
+
+    #[test]
+    fn stack_op_classification_and_display() {
+        assert!(OpKind::Push { value: 1, ok: true }.is_mutator());
+        assert!(!OpKind::Push {
+            value: 1,
+            ok: false
+        }
+        .is_mutator());
+        assert!(OpKind::Pop { value: Some(1) }.is_mutator());
+        assert!(!OpKind::Pop { value: None }.is_mutator());
+        assert_eq!(
+            format!("{}", OpKind::Push { value: 7, ok: true }),
+            "Push(7) -> true"
+        );
+        assert_eq!(format!("{}", OpKind::Pop { value: Some(7) }), "Pop() -> 7");
+        assert_eq!(format!("{}", OpKind::Pop { value: None }), "Pop() -> empty");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::collections::HashSet;
 use std::hash::Hash;
 
 use crate::history::{History, OpKind};
-use crate::sequential::{SeqAbaRegister, SeqFifoQueue, SeqLlSc, SeqMap, SeqOrderedSet};
+use crate::sequential::{
+    SeqAbaRegister, SeqFifoQueue, SeqLifoStack, SeqLlSc, SeqMap, SeqOrderedSet,
+};
 use crate::{ProcessId, Word};
 
 /// Maximum history length the exhaustive checker accepts.
@@ -85,6 +87,26 @@ impl CheckerSpec for QueueSpecState {
                 true
             }
             OpKind::Dequeue { value } => self.0.dequeue() == value,
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StackSpecState(SeqLifoStack);
+
+impl CheckerSpec for StackSpecState {
+    fn apply(&mut self, _pid: ProcessId, kind: &OpKind) -> bool {
+        match *kind {
+            OpKind::Push { value, ok } => {
+                // A failed (arena-exhausted) push never touched the
+                // abstract stack: it linearizes anywhere as a no-op.
+                if ok {
+                    self.0.push(value);
+                }
+                true
+            }
+            OpKind::Pop { value } => self.0.pop() == value,
             _ => false,
         }
     }
@@ -213,6 +235,31 @@ pub fn check_queue_history(history: &History) -> LinCheckOutcome {
         );
     }
     check_generic(history, QueueSpecState(SeqFifoQueue::new()))
+}
+
+/// Check a history of `Push`/`Pop` operations against the LIFO stack
+/// specification (initially empty).
+///
+/// A non-linearizable outcome is exactly what an ABA on the Treiber stack's
+/// pop CAS produces: a value popped twice, a value lost, or a spurious
+/// "empty" answer while a completed push precedes the pop.  The
+/// elimination-backoff front end must also pass this check: an eliminated
+/// push/pop pair linearizes back-to-back (push immediately followed by the
+/// matching pop) at the moment of the exchange, which is admissible for a
+/// stack in any surrounding state.
+///
+/// # Panics
+///
+/// Panics if the history contains non-stack operations.
+pub fn check_stack_history(history: &History) -> LinCheckOutcome {
+    for op in history.ops() {
+        assert!(
+            matches!(op.kind, OpKind::Push { .. } | OpKind::Pop { .. }),
+            "check_stack_history given a non-stack operation: {}",
+            op.kind
+        );
+    }
+    check_generic(history, StackSpecState(SeqLifoStack::new()))
 }
 
 /// Check a history of `Insert`/`Remove`/`Contains` operations against the
@@ -619,6 +666,100 @@ mod tests {
             rec(1, OpKind::Dequeue { value: None }, 2, 3),
         ]);
         assert!(check_queue_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_lifo_history_is_linearizable() {
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Push { value: 1, ok: true }, 0, 1),
+            rec(0, OpKind::Push { value: 2, ok: true }, 2, 3),
+            rec(1, OpKind::Pop { value: Some(2) }, 4, 5),
+            rec(1, OpKind::Pop { value: Some(1) }, 6, 7),
+            rec(1, OpKind::Pop { value: None }, 8, 9),
+        ]);
+        assert!(check_stack_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn duplicated_pop_is_not_linearizable() {
+        // The ABA damage signature: one push, the same value popped by two
+        // processes.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Push { value: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Pop { value: Some(5) }, 2, 3),
+            rec(2, OpKind::Pop { value: Some(5) }, 4, 5),
+        ]);
+        assert_eq!(check_stack_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn lost_push_is_not_linearizable() {
+        // A push strictly precedes the pop, yet the pop reports an empty
+        // stack: the value was lost.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Push { value: 5, ok: true }, 0, 1),
+            rec(1, OpKind::Pop { value: None }, 2, 3),
+        ]);
+        assert_eq!(check_stack_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn lifo_order_violation_is_not_linearizable() {
+        // Two completed pushes, then the pops return them oldest-first:
+        // FIFO behaviour, which a stack must reject.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Push { value: 1, ok: true }, 0, 1),
+            rec(0, OpKind::Push { value: 2, ok: true }, 2, 3),
+            rec(1, OpKind::Pop { value: Some(1) }, 4, 5),
+            rec(1, OpKind::Pop { value: Some(2) }, 6, 7),
+        ]);
+        assert_eq!(check_stack_history(&h), LinCheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_push_and_pop_allow_either_outcome() {
+        // The pop overlaps the push, so it may linearize before (empty) or
+        // after (value) it — exactly the freedom an elimination exchange
+        // exploits.
+        for value in [None, Some(5)] {
+            let h = History::from_ops(vec![
+                rec(0, OpKind::Push { value: 5, ok: true }, 0, 10),
+                rec(1, OpKind::Pop { value }, 1, 2),
+            ]);
+            assert!(check_stack_history(&h).is_linearizable(), "{value:?}");
+        }
+    }
+
+    #[test]
+    fn failed_push_linearizes_as_a_no_op() {
+        let h = History::from_ops(vec![
+            rec(
+                0,
+                OpKind::Push {
+                    value: 9,
+                    ok: false,
+                },
+                0,
+                1,
+            ),
+            rec(1, OpKind::Pop { value: None }, 2, 3),
+        ]);
+        assert!(check_stack_history(&h).is_linearizable());
+    }
+
+    #[test]
+    fn eliminated_pair_amid_deep_stack_is_linearizable() {
+        // An overlapping push(7)/pop->7 pair exchanged while 1 and 2 sit
+        // untouched underneath: the pair linearizes back-to-back.
+        let h = History::from_ops(vec![
+            rec(0, OpKind::Push { value: 1, ok: true }, 0, 1),
+            rec(0, OpKind::Push { value: 2, ok: true }, 2, 3),
+            rec(1, OpKind::Push { value: 7, ok: true }, 4, 9),
+            rec(2, OpKind::Pop { value: Some(7) }, 5, 8),
+            rec(0, OpKind::Pop { value: Some(2) }, 10, 11),
+            rec(0, OpKind::Pop { value: Some(1) }, 12, 13),
+        ]);
+        assert!(check_stack_history(&h).is_linearizable());
     }
 
     #[test]

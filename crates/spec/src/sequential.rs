@@ -194,6 +194,51 @@ impl SeqFifoQueue {
     }
 }
 
+/// Sequential specification of an unbounded LIFO stack.
+///
+/// State: the stacked values, oldest first (so `last` is the top).  The
+/// concurrent Treiber-stack variants in `aba-lockfree` — including the
+/// elimination-backoff front end, whose exchanged push/pop pairs linearize
+/// back-to-back at the exchange point — must linearize to this; a failed
+/// (arena-exhausted) push is a no-op on the abstract state, so the
+/// specification itself carries no capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SeqLifoStack {
+    items: Vec<Word>,
+}
+
+impl SeqLifoStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stacked values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the stack holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Apply a `Push(x)`.
+    pub fn push(&mut self, value: Word) {
+        self.items.push(value);
+    }
+
+    /// Apply a `Pop()`, returning the newest value (or `None` if empty).
+    pub fn pop(&mut self) -> Option<Word> {
+        self.items.pop()
+    }
+
+    /// The value a `Pop()` would return, without applying it.
+    pub fn top(&self) -> Option<Word> {
+        self.items.last().copied()
+    }
+}
+
 /// Sequential specification of an ordered set of keys.
 ///
 /// State: the member keys.  The concurrent Harris–Michael set variants in
@@ -319,6 +364,24 @@ mod tests {
         assert_eq!(q.dequeue(), Some(3));
         assert_eq!(q.dequeue(), Some(4));
         assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn lifo_stack_orders_values() {
+        let mut s = SeqLifoStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.top(), Some(3));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        s.push(4);
+        assert_eq!(s.pop(), Some(4));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
     }
 
     #[test]

@@ -8,18 +8,18 @@
 //! instance for every measurement cell, so that repetitions never observe
 //! each other's state.
 //!
-//! [`standard_backends`] is the roster the E7/E8/E9/E10/E13 experiments
+//! [`standard_backends`] is the roster the E7/E8/E9/E10/E13/E14 experiments
 //! sweep: every `LlScObject` implementation in `aba-core` (Figure 3's
 //! single-CAS object, the announce-array object, and Moir's construction at
-//! three tag widths) plus every Treiber-stack, MS-queue, Harris–Michael-set
-//! and split-ordered-map variant in `aba-lockfree` — one per `aba-reclaim`
-//! scheme (unprotected, tagged, hazard-protected, epoch-reclaimed and
-//! LL/SC-worded), 25 backends total.
+//! three tag widths) plus every Treiber-stack, elimination-stack, MS-queue,
+//! Harris–Michael-set and split-ordered-map variant in `aba-lockfree` — one
+//! per `aba-reclaim` scheme (unprotected, tagged, hazard-protected,
+//! epoch-reclaimed and LL/SC-worded), 30 backends total.
 
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
 use aba_lockfree::{
-    map_builders, queue_builders, set_builders, stack_builders, Map, MapHandle, Queue, QueueHandle,
-    Set, SetHandle, Stack, StackHandle,
+    elim_stack_builders, map_builders, queue_builders, set_builders, stack_builders, Map,
+    MapHandle, Queue, QueueHandle, Set, SetHandle, Stack, StackHandle,
 };
 use aba_spec::{LlScHandle, LlScObject};
 
@@ -511,6 +511,11 @@ pub fn standard_backends() -> Vec<BackendSpec> {
             Box::new(StackWorkload::new(builder(stack_capacity(t), t), t))
         }));
     }
+    for (name, builder) in elim_stack_builders() {
+        specs.push(BackendSpec::new(name, move |t| {
+            Box::new(StackWorkload::new(builder(stack_capacity(t), t), t))
+        }));
+    }
     for (name, builder) in queue_builders() {
         specs.push(BackendSpec::new(name, move |t| {
             Box::new(QueueWorkload::new(builder(stack_capacity(t), t), t))
@@ -534,15 +539,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_has_twenty_five_distinct_backends() {
+    fn roster_has_thirty_distinct_backends() {
         let specs = standard_backends();
-        assert_eq!(specs.len(), 25);
+        assert_eq!(specs.len(), 30);
         let mut names: Vec<_> = specs.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 25);
-        // All four structure families are present, one backend per scheme.
-        for family in ["stack/", "queue/", "set/", "map/"] {
+        assert_eq!(names.len(), 30);
+        // All five structure families are present, one backend per scheme.
+        for family in ["stack/", "stack-elim/", "queue/", "set/", "map/"] {
             let count = specs
                 .iter()
                 .filter(|s| s.name().starts_with(family))
@@ -558,6 +563,8 @@ mod tests {
                 spec.name(),
                 "stack/hazard"
                     | "stack/epoch"
+                    | "stack-elim/hazard"
+                    | "stack-elim/epoch"
                     | "queue/hazard"
                     | "queue/epoch"
                     | "set/hazard"

@@ -1,14 +1,15 @@
 //! # aba-workload
 //!
-//! The multi-threaded workload engine behind experiments E7–E10 and E13: a
-//! deterministic [scenario](scenario::Scenario) registry (six symmetric
-//! traffic shapes, the role-asymmetric `producer-consumer` and `pipeline`,
-//! the key-space shapes `uniform-key-churn` and `hot-key-contention`, and
-//! the Zipf-skewed shapes `zipf-key-churn` and `zipf-read-heavy`) crossed
-//! with a [backend](backend::BackendSpec) matrix over every `LlScObject`
-//! implementation and every Treiber-stack, MS-queue, Harris–Michael-set and
+//! The multi-threaded workload engine behind experiments E7–E10, E13 and
+//! E14: a deterministic [scenario](scenario::Scenario) registry (six
+//! symmetric traffic shapes, the role-asymmetric `producer-consumer` and
+//! `pipeline`, the key-space shapes `uniform-key-churn` and
+//! `hot-key-contention`, and the Zipf-skewed shapes `zipf-key-churn` and
+//! `zipf-read-heavy`) crossed with a [backend](backend::BackendSpec) matrix
+//! over every `LlScObject` implementation and every Treiber-stack,
+//! elimination-backoff-stack, MS-queue, Harris–Michael-set and
 //! split-ordered-map variant — one per `aba-reclaim` protection scheme,
-//! 25 backends — swept across thread counts by a measurement
+//! 30 backends — swept across thread counts by a measurement
 //! [engine](engine::run_matrix)
 //! (warmup, median-of-k repetitions, per-thread counters merged after join,
 //! p50/p99 latency sampling with a prime, per-thread-staggered stride, and a

@@ -15,9 +15,10 @@ use aba_workload::{
 
 /// The full backend roster, frozen.  PR 4 appended `stack/epoch` and
 /// `queue/epoch`; PR 5 appended the five `set/*` backends; PR 8 appended the
-/// five `map/*` backends; everything before them is the PR 2/PR 3 roster
-/// verbatim.
-const GOLDEN_ROSTER: [&str; 25] = [
+/// five `map/*` backends; PR 9 appended the five `stack-elim/*` backends
+/// (elimination-backoff front end over the same reclaimers); everything
+/// before them is the PR 2/PR 3 roster verbatim.
+const GOLDEN_ROSTER: [&str; 30] = [
     "llsc/cas (Fig 3)",
     "llsc/announce",
     "llsc/moir tag32",
@@ -28,6 +29,11 @@ const GOLDEN_ROSTER: [&str; 25] = [
     "stack/hazard",
     "stack/llsc-head",
     "stack/epoch",
+    "stack-elim/unprotected",
+    "stack-elim/tagged",
+    "stack-elim/hazard",
+    "stack-elim/llsc-head",
+    "stack-elim/epoch",
     "queue/unprotected",
     "queue/tagged",
     "queue/hazard",
@@ -84,10 +90,11 @@ fn scenario_roster_matches_the_golden_list_exactly() {
 }
 
 #[test]
-fn full_matrix_is_twelve_scenarios_by_twenty_five_backends() {
-    // The roster cross-product the E7–E10/E13 sweeps produce: pinned here so
-    // a silently shrunken sweep cannot masquerade as a passing benchmark run.
-    assert_eq!(standard_scenarios().len() * standard_backends().len(), 300);
+fn full_matrix_is_twelve_scenarios_by_thirty_backends() {
+    // The roster cross-product the E7–E10/E13/E14 sweeps produce: pinned here
+    // so a silently shrunken sweep cannot masquerade as a passing benchmark
+    // run.
+    assert_eq!(standard_scenarios().len() * standard_backends().len(), 360);
 }
 
 #[test]
