@@ -75,6 +75,12 @@ pub trait Map: Send + Sync {
     /// Nodes retired but not yet returned to the arena — the protection
     /// scheme's space overhead (0 for immediate-free schemes).
     fn unreclaimed(&self) -> u64;
+    /// Number of operations that failed on the allocation fast path (arena
+    /// exhausted, or allocation denied by the scheme's limbo-bound
+    /// admission): the ops a throughput report must not count as completed.
+    fn alloc_failures(&self) -> u64 {
+        0
+    }
     /// Approximate number of live entries (drives the load factor; an
     /// unprotected ABA can skew it).
     fn len(&self) -> u64;
@@ -232,6 +238,7 @@ pub struct GenericMap<R: Reclaimer> {
     /// Live-entry gauge (approximate under unprotected ABA), drives growth.
     count: CacheAligned<AtomicU64>,
     aba_events: AtomicU64,
+    alloc_failures: AtomicU64,
     key_capacity: usize,
 }
 
@@ -261,6 +268,7 @@ impl<R: Reclaimer> GenericMap<R> {
             buckets: BucketTable::new(INITIAL_BUCKETS, max_buckets),
             count: CacheAligned(AtomicU64::new(0)),
             aba_events: AtomicU64::new(0),
+            alloc_failures: AtomicU64::new(0),
             key_capacity: capacity,
         };
         // Bucket 0's dummy is the global list head (split-order key 0, the
@@ -300,6 +308,10 @@ impl<R: Reclaimer> Map for GenericMap<R> {
         self.reclaim.unreclaimed()
     }
 
+    fn alloc_failures(&self) -> u64 {
+        self.alloc_failures.load(Ordering::SeqCst)
+    }
+
     fn len(&self) -> u64 {
         self.count.0.load(Ordering::SeqCst)
     }
@@ -317,15 +329,16 @@ impl<R: Reclaimer> Map for GenericMap<R> {
     }
 
     fn handle(&self, tid: usize) -> Box<dyn MapHandle + '_> {
-        // The guard is created once per handle while the arena keeps growing
-        // underneath it, so its capacity-scaled heuristics (e.g. the hazard
-        // scheme's eager-flush threshold) are sized to the arena's full plan;
-        // a snapshot of today's live capacity would pin them to the small
-        // initial segment forever.  Per-operation retry budgets are the ones
-        // that track the live capacity (see `budget`).
+        // Seed the guard's capacity-scaled heuristics from today's *live*
+        // capacity, not the arena's full plan: a plan-sized trigger is far
+        // too lax for the small published segments (the deferred schemes
+        // would park plan/4·threads nodes in limbo while only the initial
+        // segment exists).  Growth is handled per-operation: `admit_alloc`
+        // re-feeds the latest live capacity before every allocation, so the
+        // heuristics track the arena as segments publish.
         Box::new(GenericMapHandle {
             map: self,
-            guard: self.reclaim.guard(tid, self.arena.capacity()),
+            guard: self.reclaim.guard(tid, self.arena.live_capacity()),
             backoff: Backoff::new(tid as u64),
         })
     }
@@ -565,6 +578,16 @@ impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
     fn insert(&mut self, key: u32, value: u32) -> bool {
         let key = key & KEY_MASK;
         let arena = &self.map.arena;
+        // Admission before allocation: a deferred scheme retunes its
+        // capacity-derived trigger to the live (grown) arena and may deny
+        // the allocation while its limbo bound is violated by a stale pin.
+        if !self
+            .guard
+            .admit_alloc(arena.live_capacity(), |i| arena.free(i))
+        {
+            self.map.alloc_failures.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
         // Allocate before pinning: the allocation-pressure fallback must run
         // unpinned (deferred schemes reclaim here), and the node is
         // exclusively ours until the splice CAS publishes it.
@@ -574,7 +597,10 @@ impl<R: Reclaimer> MapHandle for GenericMapHandle<'_, R> {
                 self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
-                    None => return false,
+                    None => {
+                        self.map.alloc_failures.fetch_add(1, Ordering::SeqCst);
+                        return false;
+                    }
                 }
             }
         };
@@ -905,6 +931,31 @@ mod tests {
                 initial
             );
         }
+    }
+
+    #[test]
+    fn epoch_trigger_tracks_the_live_arena_not_the_plan() {
+        // Satellite-1 regression: the epoch guard's advance trigger must be
+        // derived from the arena's *live* capacity at pressure-check time.
+        // With a large plan (4096 keys → several-thousand-node arena plan)
+        // but a small published segment, the pre-fix guard sized its trigger
+        // from the plan (clamped at ADVANCE_THRESHOLD = 32) and let 32
+        // retired nodes park in limbo — several times the live segment —
+        // before even attempting an advance.  Post-fix the trigger follows
+        // the live capacity, so single-threaded churn keeps limbo tiny.
+        let map = EpochMap::new(4096, 2);
+        let mut h = map.handle(0);
+        let mut peak = 0u64;
+        for round in 0..200u32 {
+            assert!(h.insert(7, round), "round {round}");
+            assert!(h.remove(7), "round {round}");
+            peak = peak.max(map.unreclaimed());
+        }
+        assert!(
+            peak < 32,
+            "peak unreclaimed {peak} must stay below the plan-derived trigger"
+        );
+        assert!(peak > 0, "the epoch scheme must defer at least one free");
     }
 
     #[test]

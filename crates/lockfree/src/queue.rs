@@ -39,6 +39,12 @@ pub trait Queue: Send + Sync {
     /// Nodes retired but not yet returned to the arena — the protection
     /// scheme's space overhead (0 for immediate-free schemes).
     fn unreclaimed(&self) -> u64;
+    /// Number of operations that failed on the allocation fast path (arena
+    /// exhausted, or allocation denied by the scheme's limbo-bound
+    /// admission): the ops a throughput report must not count as completed.
+    fn alloc_failures(&self) -> u64 {
+        0
+    }
     /// Obtain the per-thread handle for `tid`.
     fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_>;
 }
@@ -71,6 +77,7 @@ pub struct GenericQueue<R: Reclaimer> {
     head: SlotId,
     tail: SlotId,
     aba_events: AtomicU64,
+    alloc_failures: AtomicU64,
 }
 
 impl<R: Reclaimer> GenericQueue<R> {
@@ -96,6 +103,7 @@ impl<R: Reclaimer> GenericQueue<R> {
             head,
             tail,
             aba_events: AtomicU64::new(0),
+            alloc_failures: AtomicU64::new(0),
         }
     }
 
@@ -120,6 +128,10 @@ impl<R: Reclaimer> Queue for GenericQueue<R> {
 
     fn unreclaimed(&self) -> u64 {
         self.reclaim.unreclaimed()
+    }
+
+    fn alloc_failures(&self) -> u64 {
+        self.alloc_failures.load(Ordering::SeqCst)
     }
 
     fn handle(&self, tid: usize) -> Box<dyn QueueHandle + '_> {
@@ -176,6 +188,16 @@ impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
     fn enqueue(&mut self, value: u32) -> bool {
         let q = self.queue;
         let arena = &q.arena;
+        // Admission before allocation: a deferred scheme retunes its
+        // capacity-derived trigger to the live arena and may deny the
+        // allocation while its limbo bound is violated by a stale pin.
+        if !self
+            .guard
+            .admit_alloc(arena.live_capacity(), |i| arena.free(i))
+        {
+            q.alloc_failures.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
         let idx = match arena.alloc() {
             Some(idx) => idx,
             None => {
@@ -185,7 +207,10 @@ impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
                 self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
-                    None => return false,
+                    None => {
+                        q.alloc_failures.fetch_add(1, Ordering::SeqCst);
+                        return false;
+                    }
                 }
             }
         };
@@ -277,6 +302,12 @@ impl<R: Reclaimer> QueueHandle for GenericQueueHandle<'_, R> {
                     q.aba_events.fetch_add(1, Ordering::SeqCst);
                 }
                 self.guard.retire(head, |i| arena.free(i));
+                // The operation is over: drop the pin.  A consumer that
+                // never observes the queue empty would otherwise stay pinned
+                // at its first dequeue's epoch and block every later advance
+                // — the E9 parking pathology reproduced from inside the
+                // structure.
+                self.guard.quiesce();
                 self.backoff.reset();
                 return Some(value);
             }

@@ -49,6 +49,12 @@ pub trait Set: Send + Sync {
     /// Nodes retired but not yet returned to the arena — the protection
     /// scheme's space overhead (0 for immediate-free schemes).
     fn unreclaimed(&self) -> u64;
+    /// Number of operations that failed on the allocation fast path (arena
+    /// exhausted, or allocation denied by the scheme's limbo-bound
+    /// admission): the ops a throughput report must not count as completed.
+    fn alloc_failures(&self) -> u64 {
+        0
+    }
     /// Obtain the per-thread handle for `tid`.
     fn handle(&self, tid: usize) -> Box<dyn SetHandle + '_>;
 }
@@ -79,6 +85,7 @@ pub struct GenericSet<R: Reclaimer> {
     reclaim: R,
     head: SlotId,
     aba_events: AtomicU64,
+    alloc_failures: AtomicU64,
 }
 
 impl<R: Reclaimer> GenericSet<R> {
@@ -97,6 +104,7 @@ impl<R: Reclaimer> GenericSet<R> {
             reclaim,
             head,
             aba_events: AtomicU64::new(0),
+            alloc_failures: AtomicU64::new(0),
         }
     }
 
@@ -121,6 +129,10 @@ impl<R: Reclaimer> Set for GenericSet<R> {
 
     fn unreclaimed(&self) -> u64 {
         self.reclaim.unreclaimed()
+    }
+
+    fn alloc_failures(&self) -> u64 {
+        self.alloc_failures.load(Ordering::SeqCst)
     }
 
     fn handle(&self, tid: usize) -> Box<dyn SetHandle + '_> {
@@ -316,6 +328,16 @@ impl<R: Reclaimer> GenericSetHandle<'_, R> {
 impl<R: Reclaimer> SetHandle for GenericSetHandle<'_, R> {
     fn insert(&mut self, key: u32) -> bool {
         let arena = &self.set.arena;
+        // Admission before allocation: a deferred scheme retunes its
+        // capacity-derived trigger to the live arena and may deny the
+        // allocation while its limbo bound is violated by a stale pin.
+        if !self
+            .guard
+            .admit_alloc(arena.live_capacity(), |i| arena.free(i))
+        {
+            self.set.alloc_failures.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
         // Allocate before the traversal: the allocation-pressure fallback
         // must run quiesced (deferred schemes reclaim here), and the node is
         // exclusively ours until the splice CAS publishes it.
@@ -325,7 +347,10 @@ impl<R: Reclaimer> SetHandle for GenericSetHandle<'_, R> {
                 self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
-                    None => return false,
+                    None => {
+                        self.set.alloc_failures.fetch_add(1, Ordering::SeqCst);
+                        return false;
+                    }
                 }
             }
         };

@@ -43,6 +43,12 @@ pub trait Stack: Send + Sync {
     /// Nodes retired but not yet returned to the arena — the protection
     /// scheme's space overhead (0 for immediate-free schemes).
     fn unreclaimed(&self) -> u64;
+    /// Number of operations that failed on the allocation fast path (arena
+    /// exhausted, or allocation denied by the scheme's limbo-bound
+    /// admission): the ops a throughput report must not count as completed.
+    fn alloc_failures(&self) -> u64 {
+        0
+    }
     /// Obtain the per-thread handle for `tid`.
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_>;
 }
@@ -65,6 +71,7 @@ pub struct GenericStack<R: Reclaimer> {
     reclaim: R,
     head: SlotId,
     aba_events: AtomicU64,
+    alloc_failures: AtomicU64,
 }
 
 impl<R: Reclaimer> GenericStack<R> {
@@ -83,6 +90,7 @@ impl<R: Reclaimer> GenericStack<R> {
             reclaim,
             head,
             aba_events: AtomicU64::new(0),
+            alloc_failures: AtomicU64::new(0),
         }
     }
 
@@ -107,6 +115,10 @@ impl<R: Reclaimer> Stack for GenericStack<R> {
 
     fn unreclaimed(&self) -> u64 {
         self.reclaim.unreclaimed()
+    }
+
+    fn alloc_failures(&self) -> u64 {
+        self.alloc_failures.load(Ordering::SeqCst)
     }
 
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
@@ -165,6 +177,17 @@ impl<'a, R: Reclaimer> GenericStackHandle<'a, R> {
         }
         let stack = self.stack;
         let arena = &stack.arena;
+        // Admission before allocation: a deferred scheme retunes its
+        // capacity-derived trigger to the live arena and may deny the
+        // allocation outright while its limbo bound is violated by a stale
+        // pin elsewhere — the op fails fast instead of draining the arena.
+        if !self
+            .guard
+            .admit_alloc(arena.live_capacity(), |i| arena.free(i))
+        {
+            stack.alloc_failures.fetch_add(1, Ordering::SeqCst);
+            return CentralPush::Full;
+        }
         let idx = match arena.alloc() {
             Some(idx) => idx,
             None => {
@@ -174,7 +197,10 @@ impl<'a, R: Reclaimer> GenericStackHandle<'a, R> {
                 self.guard.reclaim_pressure(|i| arena.free(i));
                 match arena.alloc() {
                     Some(idx) => idx,
-                    None => return CentralPush::Full,
+                    None => {
+                        stack.alloc_failures.fetch_add(1, Ordering::SeqCst);
+                        return CentralPush::Full;
+                    }
                 }
             }
         };
@@ -240,6 +266,11 @@ impl<'a, R: Reclaimer> GenericStackHandle<'a, R> {
                 // may recycle the node the instant it is handed back.
                 let value = arena.value(head);
                 self.guard.retire(head, |i| arena.free(i));
+                // The operation is over: drop the pin.  A popper that never
+                // quiesces stays pinned at its first operation's epoch and
+                // blocks every later advance — the E9 parking pathology
+                // reproduced from inside the structure.
+                self.guard.quiesce();
                 self.backoff.reset();
                 return CentralPop::Popped(value);
             }
@@ -448,6 +479,10 @@ impl<R: Reclaimer> Stack for ElimStack<R> {
 
     fn unreclaimed(&self) -> u64 {
         self.inner.unreclaimed()
+    }
+
+    fn alloc_failures(&self) -> u64 {
+        self.inner.alloc_failures()
     }
 
     fn handle(&self, tid: usize) -> Box<dyn StackHandle + '_> {
@@ -890,6 +925,69 @@ mod tests {
             drop(h);
             assert_eq!(stack.unreclaimed(), 0, "{}", stack.name());
         }
+    }
+
+    /// Regression pin for the E9/E15 limbo-parking pathology: one thread
+    /// parked *while pinned* must not let the epoch scheme's limbo swallow
+    /// the whole arena.  Pre-fix, a stale pin blocks every advance after the
+    /// first, so churn parks `capacity` nodes in limbo (peak == capacity);
+    /// post-fix, debt-bounded advancement plus allocation admission caps the
+    /// peak at O(threads · trigger) ≪ capacity.
+    #[test]
+    fn parked_pin_keeps_epoch_limbo_bounded() {
+        const THREADS: usize = 8;
+        const CAPACITY: usize = 64 + 16 * THREADS; // the E9 arena: 192
+        let stack = EpochStack::new(CAPACITY, THREADS);
+        // Deliberately parked pinned "thread": a raw guard that protects the
+        // head and then never quiesces (a preempted reader, frozen forever).
+        let mut parked = stack.reclaim.guard(THREADS - 1, CAPACITY);
+        let _ = parked.protect(0, stack.head);
+        let mut h = stack.handle(0);
+        let mut peak = 0u64;
+        for v in 0..(4 * CAPACITY as u32) {
+            // Pop only what was actually pushed, so every limbo node traces
+            // back to an admitted allocation.
+            if h.push(v) {
+                let _ = h.pop();
+            }
+            peak = peak.max(stack.unreclaimed());
+        }
+        assert!(
+            2 * peak < CAPACITY as u64,
+            "epoch peak unreclaimed {peak} of {CAPACITY}: a parked pin must \
+             not park the arena in limbo"
+        );
+        assert!(peak > 0, "churn under a parked pin still retires nodes");
+        drop(parked);
+    }
+
+    /// Companion bound for hazard pointers: a parked *protector* pins exactly
+    /// one node, and the scan policy (batch trigger + scan threshold) bounds
+    /// everything else, so churn under a parked protector stays well below
+    /// the arena no matter how long it runs.
+    #[test]
+    fn parked_protector_keeps_hazard_retired_list_bounded() {
+        const THREADS: usize = 8;
+        const CAPACITY: usize = 64 + 16 * THREADS;
+        let stack = HazardStack::new(CAPACITY, THREADS);
+        let mut h = stack.handle(0);
+        assert!(h.push(9999)); // give the parked protector a real node to pin
+        let mut parked = stack.reclaim.guard(THREADS - 1, CAPACITY);
+        let pinned_node = parked.protect(0, stack.head);
+        assert_ne!(pinned_node, NIL);
+        let mut peak = 0u64;
+        for v in 0..(4 * CAPACITY as u32) {
+            if h.push(v) {
+                let _ = h.pop();
+            }
+            peak = peak.max(stack.unreclaimed());
+        }
+        assert!(
+            2 * peak < CAPACITY as u64,
+            "hazard peak unreclaimed {peak} of {CAPACITY}: the scan policy \
+             must bound the retired list"
+        );
+        drop(parked);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Epoch-based (quiescence) reclamation — the canonical alternative to
-//! hazard pointers (Fraser-style epochs, cf. crossbeam-epoch).
+//! hazard pointers (Fraser-style epochs, cf. crossbeam-epoch), with
+//! **debt-bounded advancement** so one parked reader cannot park the whole
+//! arena in limbo (the E9/E15 pathology).
 //!
 //! A global epoch counter advances only when every *pinned* thread has
 //! observed the current value.  A thread pins itself (publishes the global
@@ -15,9 +17,32 @@
 //! `unpin` are one or two shared stores, and the O(threads) epoch-advance
 //! scan runs only every [`ADVANCE_THRESHOLD`] retirements (or under
 //! allocation pressure) — the amortized-O(1) cost profile that makes epochs
-//! the cheap-reads point in the scheme-comparison tables, bought with the
-//! largest unreclaimed-node footprint (one stalled reader blocks *all*
-//! reclamation, where a hazard pointer pins exactly one node).
+//! the cheap-reads point in the scheme-comparison tables.
+//!
+//! # Debt-bounded advancement (DESIGN.md §12)
+//!
+//! The classic failure mode: a thread preempted *while pinned* lets the
+//! global epoch advance exactly once (its published `e + 1` is still
+//! "current" for the first advance) and then blocks every further advance,
+//! so limbo grows without bound — E9 measured the entire arena (192/192
+//! nodes) parked in limbo under oversubscription.  Three mechanisms bound
+//! it, none of which ever frees a node early (safety is unchanged):
+//!
+//! * **Advance debt** — every advance attempt blocked by a stale pin bumps
+//!   that slot's `advance_debt` counter, so a chronically-stale thread is
+//!   *detectable* and reportable ([`EpochReclaim::advance_debt`]); its pin
+//!   is never force-expired.
+//! * **Quarantine transfer** — after [`TRANSFER_AFTER_BLOCKED`] consecutive
+//!   blocked advances a guard transfers its bags (keyed by retire epoch)
+//!   to the shared quarantine and keeps operating with empty bags; any
+//!   guard's flush adopts quarantined nodes the moment they become
+//!   eligible, so transferred limbo is centralized, not stranded.
+//! * **Allocation admission** — [`Guard::admit_alloc`] recomputes the
+//!   advance trigger from the arena's *live* capacity, and once the global
+//!   unreclaimed count exceeds the limbo budget (`threads · trigger +
+//!   2 · threads`) it help-advances; if every attempt stays blocked by a
+//!   stale pin the allocation is denied, so churn degrades into reported
+//!   allocation failures instead of eating the arena.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -35,6 +60,24 @@ use crate::{Guard, Reclaimer, SlotId};
 /// collectively park the whole arena in limbo and every allocation starves.
 pub const ADVANCE_THRESHOLD: usize = 32;
 
+/// Consecutive *blocked* advance attempts after which a guard transfers its
+/// limbo bags to the shared quarantine (two attempts distinguish a stale pin
+/// from the benign one-advance lag every pin exhibits).
+pub const TRANSFER_AFTER_BLOCKED: usize = 2;
+
+/// One thread's epoch state, alone on its cache line: the local-epoch word
+/// written on every pin/unpin, plus the advance-debt diagnostic bumped by
+/// advancers this pin has blocked.
+#[derive(Debug)]
+struct LocalEpoch {
+    /// 0 when the thread is quiescent, `e + 1` when pinned at epoch `e`.
+    epoch: AtomicU64,
+    /// Number of advance attempts blocked by this slot's current pin;
+    /// cleared on unpin.  Purely diagnostic — a chronically-stale thread is
+    /// reported, never force-freed.
+    advance_debt: AtomicU64,
+}
+
 /// Epoch-based reclamation: a global epoch, per-thread local epochs and
 /// three per-guard limbo bags.  Structure words are bare indices (the
 /// protection is temporal, not representational).
@@ -42,22 +85,21 @@ pub const ADVANCE_THRESHOLD: usize = 32;
 pub struct EpochReclaim {
     /// The global epoch.
     global: AtomicU64,
-    /// `locals[t]`: 0 when thread `t` is quiescent, `e + 1` when it is
-    /// pinned at epoch `e`.  Each local epoch is written by one thread on
-    /// every pin/unpin and scanned by advancers — padded so two threads'
-    /// pin traffic never shares a cache line.
-    locals: Box<[CachePadded<AtomicU64>]>,
+    /// Per-thread epoch state — padded so two threads' pin traffic never
+    /// shares a cache line.
+    locals: Box<[CachePadded<LocalEpoch>]>,
     slots: Vec<CachePadded<AtomicU64>>,
     /// Retired-but-not-freed node count across all guards (the scheme's
     /// space overhead).
     unreclaimed: AtomicU64,
-    /// `(node, retire-epoch)` pairs stranded by dropped guards; adopted by
-    /// whichever guard reclaims next.
-    orphans: Mutex<Vec<(u64, u64)>>,
-    /// Orphan count mirrored outside the mutex, so the retire-path advance
-    /// (which runs on every retire for small arenas) stays lock-free in the
-    /// common no-dropped-guard case.
-    orphan_count: AtomicU64,
+    /// `(node, retire-epoch)` pairs owned by no guard: stranded by dropped
+    /// guards, or transferred by debt-blocked ones.  Adopted by whichever
+    /// guard reclaims next.
+    quarantine: Mutex<Vec<(u64, u64)>>,
+    /// Quarantine size mirrored outside the mutex, so the retire-path
+    /// advance (which runs on every retire for small arenas) stays
+    /// lock-free in the common empty-quarantine case.
+    quarantine_count: AtomicU64,
 }
 
 impl Reclaimer for EpochReclaim {
@@ -67,12 +109,17 @@ impl Reclaimer for EpochReclaim {
         EpochReclaim {
             global: AtomicU64::new(0),
             locals: (0..threads.max(1))
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .map(|_| {
+                    CachePadded::new(LocalEpoch {
+                        epoch: AtomicU64::new(0),
+                        advance_debt: AtomicU64::new(0),
+                    })
+                })
                 .collect(),
             slots: Vec::new(),
             unreclaimed: AtomicU64::new(0),
-            orphans: Mutex::new(Vec::new()),
-            orphan_count: AtomicU64::new(0),
+            quarantine: Mutex::new(Vec::new()),
+            quarantine_count: AtomicU64::new(0),
         }
     }
 
@@ -86,12 +133,13 @@ impl Reclaimer for EpochReclaim {
         EpochGuard {
             shared: self,
             tid,
-            advance_trigger: (capacity / (4 * self.locals.len())).clamp(1, ADVANCE_THRESHOLD),
+            capacity,
             pinned: false,
             bags: [Vec::new(), Vec::new(), Vec::new()],
             bag_epoch: [0; 3],
             limbo: 0,
             since_advance: 0,
+            blocked_advances: 0,
         }
     }
 
@@ -125,6 +173,22 @@ impl EpochReclaim {
     pub fn global_epoch(&self) -> u64 {
         self.global.load(Ordering::SeqCst)
     }
+
+    /// Number of advance attempts blocked by thread `tid`'s *current* pin
+    /// (0 when quiescent): the chronically-stale-thread report.  A large
+    /// value identifies a parked reader whose pin is capping reclamation;
+    /// the scheme never force-expires it — detection is the remedy the
+    /// safety argument allows.
+    pub fn advance_debt(&self, tid: usize) -> u64 {
+        self.locals[tid].advance_debt.load(Ordering::SeqCst)
+    }
+
+    /// Number of `(node, retire-epoch)` pairs currently in the shared
+    /// quarantine (stranded by dropped guards or transferred by
+    /// debt-blocked ones).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantine_count.load(Ordering::SeqCst)
+    }
 }
 
 /// Guard of [`EpochReclaim`]: pin state plus three limbo bags.
@@ -132,10 +196,12 @@ impl EpochReclaim {
 pub struct EpochGuard<'a> {
     shared: &'a EpochReclaim,
     tid: usize,
-    /// Limbo size (or retire count) at which this guard attempts an epoch
-    /// advance: its per-thread share of the arena, capped by
-    /// [`ADVANCE_THRESHOLD`].
-    advance_trigger: usize,
+    /// Most recently observed arena capacity; the advance trigger and limbo
+    /// budget derive from it on demand, so [`Guard::admit_alloc`] tracking a
+    /// growable arena's *live* capacity retunes both (pre-fix the trigger
+    /// was frozen at guard creation from the full plan capacity — far too
+    /// lax for a small published prefix).
+    capacity: usize,
     pinned: bool,
     /// Bag `e % 3` holds nodes retired at epoch `bag_epoch[e % 3]`.
     bags: [Vec<u64>; 3],
@@ -143,9 +209,27 @@ pub struct EpochGuard<'a> {
     /// Total nodes across the three bags.
     limbo: usize,
     since_advance: usize,
+    /// Consecutive advance attempts blocked by a stale pin; reaching
+    /// [`TRANSFER_AFTER_BLOCKED`] transfers the bags to quarantine.
+    blocked_advances: usize,
 }
 
 impl EpochGuard<'_> {
+    /// Limbo size (or retire count) at which this guard attempts an epoch
+    /// advance: its per-thread share of the arena, capped by
+    /// [`ADVANCE_THRESHOLD`], recomputed from the latest observed capacity.
+    fn trigger(&self) -> usize {
+        (self.capacity / (4 * self.shared.locals.len())).clamp(1, ADVANCE_THRESHOLD)
+    }
+
+    /// Global unreclaimed-node budget enforced by [`Guard::admit_alloc`]:
+    /// every guard may hold its trigger's worth of limbo plus per-thread
+    /// slack for bag-boundary and in-flight effects.
+    fn limbo_budget(&self) -> u64 {
+        let threads = self.shared.locals.len();
+        (threads * self.trigger() + 2 * threads) as u64
+    }
+
     /// Pin: publish the current global epoch in our local slot, re-reading
     /// the global until the published value is current.  The re-read closes
     /// the race where an advance (and its reclamation) slips between our
@@ -157,7 +241,9 @@ impl EpochGuard<'_> {
         }
         loop {
             let e = self.shared.global.load(Ordering::SeqCst);
-            self.shared.locals[self.tid].store(e + 1, Ordering::SeqCst);
+            self.shared.locals[self.tid]
+                .epoch
+                .store(e + 1, Ordering::SeqCst);
             if self.shared.global.load(Ordering::SeqCst) == e {
                 break;
             }
@@ -167,13 +253,17 @@ impl EpochGuard<'_> {
 
     fn unpin(&mut self) {
         if self.pinned {
-            self.shared.locals[self.tid].store(0, Ordering::SeqCst);
+            let local = &self.shared.locals[self.tid];
+            local.epoch.store(0, Ordering::SeqCst);
+            // The pin that accrued the debt is over; the diagnostic tracks
+            // the *current* pin only.
+            local.advance_debt.store(0, Ordering::SeqCst);
             self.pinned = false;
         }
     }
 
-    /// Free every bag (and adopted orphan) whose retire epoch lies two or
-    /// more advances in the past.
+    /// Free every bag (and adopted quarantine entry) whose retire epoch
+    /// lies two or more advances in the past.
     fn flush_eligible(&mut self, free: &mut impl FnMut(u64)) {
         let g = self.shared.global.load(Ordering::SeqCst);
         for s in 0..3 {
@@ -185,12 +275,16 @@ impl EpochGuard<'_> {
                 }
             }
         }
-        if self.shared.orphan_count.load(Ordering::SeqCst) == 0 {
+        if self.shared.quarantine_count.load(Ordering::SeqCst) == 0 {
             return;
         }
-        let mut orphans = self.shared.orphans.lock().expect("orphan lock poisoned");
+        let mut quarantine = self
+            .shared
+            .quarantine
+            .lock()
+            .expect("quarantine lock poisoned");
         let mut adopted = 0u64;
-        orphans.retain(|&(idx, e)| {
+        quarantine.retain(|&(idx, e)| {
             if e + 2 <= g {
                 adopted += 1;
                 self.shared.unreclaimed.fetch_sub(1, Ordering::SeqCst);
@@ -201,20 +295,59 @@ impl EpochGuard<'_> {
             }
         });
         self.shared
-            .orphan_count
+            .quarantine_count
             .fetch_sub(adopted, Ordering::SeqCst);
     }
 
-    /// Attempt one epoch advance (succeeds only when every pinned thread has
-    /// observed the current epoch), then reclaim whatever became eligible.
-    fn try_advance(&mut self, free: &mut impl FnMut(u64)) {
+    /// Hand every bag to the shared quarantine, keyed by its retire epoch.
+    /// Nothing is freed — transferred nodes still await their two advances —
+    /// but this guard's private limbo drops to zero, so a guard stuck behind
+    /// a stale pin stops accumulating and the footprint is centralized
+    /// where any later guard can reclaim it.
+    fn transfer_to_quarantine(&mut self) {
+        self.blocked_advances = 0;
+        if self.limbo == 0 {
+            return;
+        }
+        let mut quarantine = self
+            .shared
+            .quarantine
+            .lock()
+            .expect("quarantine lock poisoned");
+        for s in 0..3 {
+            let e = self.bag_epoch[s];
+            quarantine.extend(self.bags[s].drain(..).map(|idx| (idx, e)));
+        }
+        self.shared
+            .quarantine_count
+            .fetch_add(self.limbo as u64, Ordering::SeqCst);
+        self.limbo = 0;
+    }
+
+    /// Attempt one epoch advance (succeeds only when every pinned thread
+    /// has observed the current epoch), then reclaim whatever became
+    /// eligible.  Returns whether the attempt was *unblocked* (the epoch
+    /// moved, or someone moved it for us); a blocked attempt bumps each
+    /// stale slot's advance debt and, after [`TRANSFER_AFTER_BLOCKED`]
+    /// consecutive blocks, transfers this guard's bags to quarantine.
+    fn try_advance(&mut self, free: &mut impl FnMut(u64)) -> bool {
         self.since_advance = 0;
         let g = self.shared.global.load(Ordering::SeqCst);
-        let all_current = self.shared.locals.iter().all(|l| {
-            let v = l.load(Ordering::SeqCst);
-            v == 0 || v == g + 1
-        });
-        if all_current {
+        let mut blocked = false;
+        for local in self.shared.locals.iter() {
+            let v = local.epoch.load(Ordering::SeqCst);
+            if v != 0 && v != g + 1 {
+                local.advance_debt.fetch_add(1, Ordering::SeqCst);
+                blocked = true;
+            }
+        }
+        if blocked {
+            self.blocked_advances += 1;
+            if self.blocked_advances >= TRANSFER_AFTER_BLOCKED {
+                self.transfer_to_quarantine();
+            }
+        } else {
+            self.blocked_advances = 0;
             // A failed CAS means someone else advanced for us — equally good.
             let _ =
                 self.shared
@@ -222,6 +355,7 @@ impl EpochGuard<'_> {
                     .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
         }
         self.flush_eligible(free);
+        !blocked
     }
 }
 
@@ -320,8 +454,9 @@ impl Guard for EpochGuard<'_> {
         // The operation is complete: quiesce before (possibly) scanning for
         // an advance, so our own pin never blocks it.
         self.unpin();
-        if self.since_advance >= self.advance_trigger || self.limbo >= self.advance_trigger {
-            self.try_advance(&mut free);
+        let trigger = self.trigger();
+        if self.since_advance >= trigger || self.limbo >= trigger {
+            let _ = self.try_advance(&mut free);
         }
     }
 
@@ -330,12 +465,40 @@ impl Guard for EpochGuard<'_> {
     }
 
     fn reclaim_pressure(&mut self, mut free: impl FnMut(u64)) {
-        debug_assert!(!self.pinned, "reclaim_pressure while pinned");
+        // The caller's operation is over by contract; quiesce first so our
+        // own pin never blocks the advances below.  (Pre-fix this was only
+        // a debug_assert, so a pinned release-mode caller silently
+        // self-blocked all three attempts and reclaimed nothing.)
+        self.unpin();
         // Two advances make everything in limbo eligible; a third attempt
         // covers an advance lost to a concurrent pinner in between.
         for _ in 0..3 {
-            self.try_advance(&mut free);
+            let _ = self.try_advance(&mut free);
         }
+    }
+
+    fn admit_alloc(&mut self, live_capacity: usize, mut free: impl FnMut(u64)) -> bool {
+        // Track the published arena, not the construction-time plan: the
+        // trigger and budget below retune as a growable arena grows.
+        self.capacity = live_capacity;
+        if self.shared.unreclaimed() < self.limbo_budget() {
+            return true;
+        }
+        if self.pinned {
+            // Mid-operation: helping would require dropping our own
+            // protection.  Admit; the post-operation retire path pays the
+            // advance debt.
+            return true;
+        }
+        // Over budget: help-advance.  Admit if any attempt was unblocked
+        // (the epoch moved, so limbo is draining) or the help brought us
+        // back under budget; deny only when a stale pin blocked every
+        // attempt — the bounded-limbo guarantee.
+        let mut advanced = false;
+        for _ in 0..3 {
+            advanced |= self.try_advance(&mut free);
+        }
+        advanced || self.shared.unreclaimed() < self.limbo_budget()
     }
 }
 
@@ -346,13 +509,17 @@ impl Drop for EpochGuard<'_> {
             // Strand the un-freed retirees on the domain rather than leaking
             // them: the next guard to reclaim adopts them (the hazard
             // domain's orphan contract, transplanted).
-            let mut orphans = self.shared.orphans.lock().expect("orphan lock poisoned");
+            let mut quarantine = self
+                .shared
+                .quarantine
+                .lock()
+                .expect("quarantine lock poisoned");
             for s in 0..3 {
                 let e = self.bag_epoch[s];
-                orphans.extend(self.bags[s].drain(..).map(|idx| (idx, e)));
+                quarantine.extend(self.bags[s].drain(..).map(|idx| (idx, e)));
             }
             self.shared
-                .orphan_count
+                .quarantine_count
                 .fetch_add(self.limbo as u64, Ordering::SeqCst);
         }
     }
@@ -363,7 +530,7 @@ mod tests {
     use super::*;
     use crate::NIL;
 
-    /// Layout regression: per-thread local-epoch words (written on every
+    /// Layout regression: per-thread local-epoch state (written on every
     /// pin/unpin) and registered structure slots must each own a 64-byte
     /// cache line.
     #[test]
@@ -414,8 +581,8 @@ mod tests {
         let mut g = r.guard(1, 1024);
         let e0 = r.global_epoch();
         let mut freed = Vec::new();
-        g.try_advance(&mut |v| freed.push(v));
-        g.try_advance(&mut |v| freed.push(v));
+        assert!(g.try_advance(&mut |v| freed.push(v)));
+        assert!(!g.try_advance(&mut |v| freed.push(v)));
         assert_eq!(
             r.global_epoch(),
             e0 + 1,
@@ -423,8 +590,118 @@ mod tests {
              second is blocked by the now-stale pin"
         );
         pinned.quiesce();
-        g.try_advance(&mut |v| freed.push(v));
+        assert!(g.try_advance(&mut |v| freed.push(v)));
         assert_eq!(r.global_epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn blocked_advances_accrue_advance_debt_until_unpin() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut parked = r.guard(0, 1024);
+        let _ = parked.protect(0, head);
+        let mut g = r.guard(1, 1024);
+        let mut sink = |_v| {};
+        let _ = g.try_advance(&mut sink); // unblocked: parked pin is current
+        assert_eq!(r.advance_debt(0), 0);
+        let _ = g.try_advance(&mut sink); // blocked by the now-stale pin
+        let _ = g.try_advance(&mut sink);
+        assert_eq!(
+            r.advance_debt(0),
+            2,
+            "each blocked attempt charges the stale pin"
+        );
+        assert_eq!(r.advance_debt(1), 0, "the quiescent helper owes nothing");
+        parked.quiesce();
+        assert_eq!(r.advance_debt(0), 0, "unpinning settles the debt");
+    }
+
+    #[test]
+    fn debt_blocked_guard_transfers_its_bags_to_quarantine() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(3);
+        let mut parked = r.guard(0, 1024);
+        let _ = parked.protect(0, head);
+        let mut g = r.guard(1, 1024);
+        let raw = g.protect(0, head);
+        let _ = g.cas(head, raw, NIL);
+        let mut freed = Vec::new();
+        g.retire(5, |v| freed.push(v));
+        assert_eq!(g.limbo, 1);
+        // First attempt is unblocked (parked pin still current), the next
+        // TRANSFER_AFTER_BLOCKED are blocked and trip the transfer.
+        for _ in 0..=TRANSFER_AFTER_BLOCKED {
+            let _ = g.try_advance(&mut |v| freed.push(v));
+        }
+        assert_eq!(g.limbo, 0, "bags moved out of the blocked guard");
+        assert_eq!(r.quarantined(), 1);
+        assert_eq!(r.unreclaimed(), 1, "transfer is not a free");
+        assert!(freed.is_empty());
+        // Once the parked reader quiesces, any guard's advances adopt the
+        // quarantined node.
+        parked.quiesce();
+        let mut adopter = r.guard(0, 1024);
+        adopter.reclaim_pressure(|v| freed.push(v));
+        assert_eq!(freed, vec![5]);
+        assert_eq!(r.quarantined(), 0);
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn admit_alloc_denies_only_when_over_budget_and_blocked() {
+        let mut r = EpochReclaim::new(2, 1);
+        let head = r.add_slot(NIL);
+        let mut parked = r.guard(0, 64);
+        let _ = parked.protect(0, head);
+        let mut g = r.guard(1, 64);
+        let mut freed = Vec::new();
+        // Healthy guard under budget: always admitted.
+        assert!(g.admit_alloc(64, |v| freed.push(v)));
+        // Park enough limbo to cross the budget (trigger = 64/8 = 8,
+        // budget = 2*8 + 4 = 20) while the stale pin blocks every advance.
+        let _ = g.try_advance(&mut |v| freed.push(v)); // burn the one unblocked advance
+        for idx in 0..24u64 {
+            let raw = g.protect(0, head);
+            let _ = g.cas(head, raw, NIL);
+            g.retire(idx, |v| freed.push(v));
+        }
+        assert!(r.unreclaimed() >= 20);
+        assert!(
+            !g.admit_alloc(64, |v| freed.push(v)),
+            "over budget with every advance blocked: allocation denied"
+        );
+        assert!(freed.is_empty());
+        // The parked reader quiesces: the same call now helps, advances and
+        // admits.
+        parked.quiesce();
+        assert!(g.admit_alloc(64, |v| freed.push(v)));
+        assert_eq!(r.unreclaimed(), 0, "the admission help-advance reclaimed");
+    }
+
+    /// Satellite regression: the advance trigger must follow the arena's
+    /// *live* capacity, not the construction-time plan.  A guard created
+    /// against a `growable(8, 1 << 20)` arena's plan capacity used to get a
+    /// trigger of [`ADVANCE_THRESHOLD`] — so on the 8-node published prefix
+    /// nothing advanced until 32 retirements had long starved the arena.
+    #[test]
+    fn admit_alloc_retunes_the_trigger_to_live_capacity() {
+        let mut r = EpochReclaim::new(1, 1);
+        let head = r.add_slot(NIL);
+        let mut g = r.guard(0, 1 << 20); // the growable arena's plan capacity
+        let mut freed = Vec::new();
+        // The admission check observes the published prefix: 8 live nodes.
+        assert!(g.admit_alloc(8, |v| freed.push(v)));
+        for idx in 0..6u64 {
+            let raw = g.protect(0, head);
+            let _ = g.cas(head, raw, NIL);
+            g.retire(idx, |v| freed.push(v));
+        }
+        assert!(
+            !freed.is_empty(),
+            "with the trigger retuned to live capacity 8 (trigger 2), the \
+             in-retire advance must have reclaimed; the plan-capacity \
+             trigger (32) would still be waiting"
+        );
     }
 
     #[test]
@@ -445,6 +722,30 @@ mod tests {
         assert_eq!(r.unreclaimed(), 0);
     }
 
+    /// Satellite regression (release-mode semantics): `reclaim_pressure` on
+    /// a still-pinned guard must quiesce it first.  Pre-fix the pin was only
+    /// debug-asserted away, so a pinned release-mode caller self-blocked all
+    /// three advance attempts and reclaimed nothing.
+    #[test]
+    fn pressure_on_a_pinned_guard_unpins_and_reclaims() {
+        let mut r = EpochReclaim::new(1, 1);
+        let head = r.add_slot(NIL);
+        let mut g = r.guard(0, 1024);
+        let mut freed = Vec::new();
+        let raw = g.protect(0, head);
+        let _ = g.cas(head, raw, NIL);
+        g.retire(3, |v| freed.push(v));
+        let _ = g.protect(0, head); // deliberately still pinned
+        g.reclaim_pressure(|v| freed.push(v));
+        assert_eq!(
+            freed,
+            vec![3],
+            "pressure must unpin (the operation is over by contract) \
+             instead of self-blocking its own advances"
+        );
+        assert_eq!(r.unreclaimed(), 0);
+    }
+
     #[test]
     fn dropped_guard_orphans_its_limbo_for_adoption() {
         let mut r = EpochReclaim::new(2, 1);
@@ -456,11 +757,13 @@ mod tests {
             g.retire(9, |_| {});
         } // dropped with 9 still in limbo
         assert_eq!(r.unreclaimed(), 1);
+        assert_eq!(r.quarantined(), 1);
         let mut adopter = r.guard(1, 1024);
         let mut freed = Vec::new();
         adopter.reclaim_pressure(|v| freed.push(v));
         assert_eq!(freed, vec![9]);
         assert_eq!(r.unreclaimed(), 0);
+        assert_eq!(r.quarantined(), 0);
     }
 
     #[test]

@@ -281,6 +281,20 @@ pub trait Guard: Send {
     /// reclaimed right now (the arena is exhausted).  Must be called
     /// quiesced.
     fn reclaim_pressure(&mut self, free: impl FnMut(u64));
+
+    /// Allocation admission, called with the arena's current *live*
+    /// capacity before each allocation.  Schemes with a deferred-free
+    /// footprint use it to (a) retune capacity-derived policy to a growable
+    /// arena's published prefix and (b) bound their limbo: when the
+    /// unreclaimed footprint exceeds the scheme's budget, the guard
+    /// help-reclaims through `free`, and returns `false` — denying the
+    /// allocation — only if reclamation cannot make progress (e.g. every
+    /// epoch advance is blocked by a stale pin).  Immediate-free schemes
+    /// always admit (the default).
+    fn admit_alloc(&mut self, live_capacity: usize, free: impl FnMut(u64)) -> bool {
+        let _ = (live_capacity, free);
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -634,9 +648,14 @@ impl Reclaimer for HazardReclaim {
             lanes: (0..self.lanes)
                 .map(|lane| self.domain.handle(tid * self.lanes + lane))
                 .collect(),
+            cache: (0..self.lanes)
+                .map(|_| CachePadded::new((usize::MAX, NIL)))
+                .collect(),
             slots: &self.slots,
             unreclaimed: &self.unreclaimed,
             capacity,
+            batch: Vec::new(),
+            batch_trigger: (self.domain.scan_threshold() / 4).max(1),
         }
     }
 
@@ -672,13 +691,26 @@ impl HazardReclaim {
     }
 }
 
-/// Guard of [`HazardReclaim`]: one hazard slot per lane plus the retired
-/// list carried by lane 0's handle.
+/// Guard of [`HazardReclaim`]: one hazard slot per lane, a thread-local
+/// retire batch spliced into lane 0's domain list on a size trigger, and a
+/// per-lane snapshot cache that keeps the `protect` hot path on one shared
+/// cache line.
 pub struct HazardGuard<'a> {
     lanes: Vec<aba_hazard::HazardHandle<'a>>,
+    /// Per-lane `(slot, raw)` snapshot of the last successful protect, each
+    /// alone on its cache line: the hot path publishes the cached word and
+    /// pays a *single* shared validating load, instead of the
+    /// load → publish → re-load double touch of the shared slot array.
+    cache: Vec<CachePadded<(SlotId, u64)>>,
     slots: &'a [CachePadded<AtomicU64>],
     unreclaimed: &'a AtomicU64,
     capacity: usize,
+    /// Thread-local retire batch: retirees stage here and are spliced into
+    /// the domain's retired list in one append when `batch_trigger` (or the
+    /// small-arena pressure rule) is reached — one amortized list splice
+    /// instead of a per-node push into the scan-visible list.
+    batch: Vec<u64>,
+    batch_trigger: usize,
 }
 
 impl std::fmt::Debug for HazardGuard<'_> {
@@ -689,11 +721,41 @@ impl std::fmt::Debug for HazardGuard<'_> {
     }
 }
 
+impl HazardGuard<'_> {
+    /// Splice the thread-local batch into lane 0's domain list (one append)
+    /// and let the domain's scan policy — plus the small-arena eager-flush
+    /// rule — reclaim.
+    fn flush_batch(&mut self, free: &mut impl FnMut(u64)) {
+        let unreclaimed = self.unreclaimed;
+        let mut counted = |v: u64| {
+            unreclaimed.fetch_sub(1, Ordering::SeqCst);
+            free(v);
+        };
+        self.lanes[0].retire_batch(&mut self.batch, &mut counted);
+        // Small arenas need eager reclamation: flush whenever the retired
+        // list holds a meaningful share of the arena.
+        if self.lanes[0].retired_len() * 4 >= self.capacity {
+            self.lanes[0].flush(&mut counted);
+        }
+    }
+}
+
 impl Guard for HazardGuard<'_> {
     fn protect(&mut self, lane: usize, slot: SlotId) -> u64 {
-        // Publish, then re-validate that the word did not move before the
-        // hazard became visible (the standard protocol), looping until the
-        // snapshot is stable.
+        // Hot path: if the lane's cached snapshot still matches this slot,
+        // publish the cached word first and pay a single shared validating
+        // load (publish-before-validate order preserved — the white-box
+        // `hazard_traversal` test pins that it is load-bearing).
+        let (cached_slot, cached_raw) = *self.cache[lane];
+        if cached_slot == slot && cached_raw != NIL {
+            self.lanes[lane].protect(cached_raw);
+            if self.slots[slot].load(Ordering::SeqCst) == cached_raw {
+                return cached_raw;
+            }
+        }
+        // Slow path: publish, then re-validate that the word did not move
+        // before the hazard became visible (the standard protocol), looping
+        // until the snapshot is stable; a stable snapshot refills the cache.
         loop {
             let raw = self.slots[slot].load(Ordering::SeqCst);
             if raw == NIL {
@@ -702,6 +764,7 @@ impl Guard for HazardGuard<'_> {
             }
             self.lanes[lane].protect(raw);
             if self.slots[slot].load(Ordering::SeqCst) == raw {
+                *self.cache[lane] = (slot, raw);
                 return raw;
             }
         }
@@ -788,17 +851,16 @@ impl Guard for HazardGuard<'_> {
         for lane in &self.lanes {
             lane.clear();
         }
-        let unreclaimed = self.unreclaimed;
-        unreclaimed.fetch_add(1, Ordering::SeqCst);
-        let mut counted = |v: u64| {
-            unreclaimed.fetch_sub(1, Ordering::SeqCst);
-            free(v);
-        };
-        self.lanes[0].retire(idx, &mut counted);
-        // Small arenas need eager reclamation: flush whenever the retired
-        // list holds a meaningful share of the arena.
-        if self.lanes[0].retired_len() * 4 >= self.capacity {
-            self.lanes[0].flush(&mut counted);
+        assert_ne!(idx, NIL, "the sentinel cannot be retired");
+        self.unreclaimed.fetch_add(1, Ordering::SeqCst);
+        // Stage in the thread-local batch; the domain's scan-visible list is
+        // touched only on the size trigger (one splice per batch) or under
+        // the small-arena pressure rule.
+        self.batch.push(idx);
+        if self.batch.len() >= self.batch_trigger
+            || (self.batch.len() + self.lanes[0].retired_len()) * 4 >= self.capacity
+        {
+            self.flush_batch(&mut free);
         }
     }
 
@@ -810,10 +872,35 @@ impl Guard for HazardGuard<'_> {
 
     fn reclaim_pressure(&mut self, mut free: impl FnMut(u64)) {
         let unreclaimed = self.unreclaimed;
-        self.lanes[0].flush(|v| {
+        let mut counted = |v: u64| {
             unreclaimed.fetch_sub(1, Ordering::SeqCst);
             free(v);
-        });
+        };
+        // The batch must reach the domain before the scan, or staged
+        // retirees would survive an arena-exhausted flush.
+        self.lanes[0].retire_batch(&mut self.batch, &mut counted);
+        self.lanes[0].flush(&mut counted);
+    }
+
+    fn admit_alloc(&mut self, live_capacity: usize, free: impl FnMut(u64)) -> bool {
+        // Hazard reclamation is already bounded (a parked protector pins
+        // exactly one node per lane; the scan policy bounds the rest), so
+        // admission never denies — but the eager-flush rule must track a
+        // growable arena's published prefix, not the construction-time plan.
+        let _ = free;
+        self.capacity = live_capacity;
+        true
+    }
+}
+
+impl Drop for HazardGuard<'_> {
+    fn drop(&mut self) {
+        // Staged retirees move into lane 0's retired list (no scan: a free
+        // callback is not available here), whose own drop orphans them onto
+        // the domain for adoption — nothing staged is ever silently lost.
+        if !self.batch.is_empty() {
+            self.lanes[0].stash_batch(&mut self.batch);
+        }
     }
 }
 

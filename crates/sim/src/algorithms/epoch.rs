@@ -22,12 +22,31 @@
 //!   register and CAS the global forward iff no pinned process is stale;
 //!   limbo entries whose stamp is two or more advances old return to the
 //!   free set with a single CAS of the whole eligible bit mask.
+//! * **transfer (E15)** — an advance blocked by a stale pin
+//!   [`TRANSFER_AFTER_BLOCKED`] times in a row moves the blocked process's
+//!   private limbo into a *shared quarantine*: one stamp register per node
+//!   is written first, then a single CAS publishes the nodes' bits in the
+//!   quarantine mask (publish-after-stamp, so an adopter never reads an
+//!   unwritten stamp).
+//! * **adopt (E15)** — after a *successful* advance, the advancing process
+//!   reads the quarantine mask, claims every entry whose stamp is two or
+//!   more advances old with one CAS (losing the claim race is benign — the
+//!   winner frees them), and returns the claimed bits to the free set.
+//!
+//! The hardware implementation's `advance_debt` counter is a pure
+//! diagnostic (it never forces a free) and is deliberately *not* modelled;
+//! the transfer trigger [`TRANSFER_AFTER_BLOCKED`] mirrors
+//! `aba-reclaim`'s constant of the same name.
 //!
 //! Under the bursty preemption-style schedules that reliably break the
 //! unprotected variant (a victim parked between its reads and its CAS while
 //! others recycle the dummy through the free set), the epoch variant
 //! survives: the parked victim's pin blocks the second advance, so its dummy
 //! cannot re-enter the free set while the victim still reasons about it.
+//! What the quarantine adds is the converse guarantee: a *parked* process
+//! cannot strand its own retired nodes — once its peers' advances stall on
+//! the stale pin, the bags become adoptable by whichever process next
+//! advances successfully.
 
 use aba_spec::{ProcessId, Word};
 
@@ -37,6 +56,11 @@ use crate::object::{BaseObject, BaseOp, ObjId, StepResult};
 const OBJ_HEAD: ObjId = 0;
 const OBJ_TAIL: ObjId = 1;
 const OBJ_FREE: ObjId = 2;
+
+/// Consecutive blocked advance attempts after which a process transfers its
+/// private limbo to the shared quarantine.  Mirrors
+/// `aba_reclaim::EpochReclaim`'s `TRANSFER_AFTER_BLOCKED`.
+pub const TRANSFER_AFTER_BLOCKED: u32 = 2;
 
 /// A simulated epoch-reclaimed MS queue: `n` processes over a
 /// capacity-`capacity` node arena.
@@ -74,6 +98,18 @@ impl EpochSim {
     pub fn local_epoch_obj(&self, p: ProcessId) -> ObjId {
         4 + 2 * self.capacity + p
     }
+
+    /// Object id of the shared quarantine bit mask (bit `i` set = node `i`
+    /// sits in quarantine, adoptable by any process).
+    pub fn quarantine_mask_obj(&self) -> ObjId {
+        4 + 2 * self.capacity + self.n
+    }
+
+    /// Object id of node `idx`'s quarantine epoch-stamp register (written
+    /// before the node's bit is published in the mask).
+    pub fn quarantine_stamp_obj(&self, idx: usize) -> ObjId {
+        5 + 2 * self.capacity + self.n + idx
+    }
 }
 
 impl SimAlgorithm for EpochSim {
@@ -100,6 +136,10 @@ impl SimAlgorithm for EpochSim {
         for _ in 0..self.n {
             objects.push(BaseObject::register(0)); // local epochs (0 = idle)
         }
+        objects.push(BaseObject::cas(0)); // quarantine mask
+        for _ in 0..self.capacity {
+            objects.push(BaseObject::register(0)); // quarantine stamps
+        }
         objects
     }
 
@@ -112,6 +152,7 @@ impl SimAlgorithm for EpochSim {
             value: 0,
             limbo: Vec::new(),
             last_g: 0,
+            blocked_advances: 0,
         })
     }
 
@@ -243,6 +284,48 @@ enum State {
         bits: u64,
         mask: u64,
     },
+    // --- quarantine transfer (advance blocked TRANSFER_AFTER_BLOCKED times) ---
+    /// Stamp limbo entry `i` into its quarantine register (one write per
+    /// node, all before the mask CAS publishes any of them).
+    XferWriteStamp {
+        after: After,
+        i: usize,
+    },
+    XferReadQmask {
+        after: After,
+        bits: u64,
+    },
+    XferCasQmask {
+        after: After,
+        bits: u64,
+        mask: u64,
+    },
+    // --- quarantine adoption (after a successful advance) ---
+    AdoptReadQmask {
+        after: After,
+    },
+    /// Read the stamp of the lowest set bit in `remaining`; `take`
+    /// accumulates the bits found eligible so far.
+    AdoptReadStamp {
+        after: After,
+        mask: u64,
+        remaining: u64,
+        take: u64,
+    },
+    AdoptCasQmask {
+        after: After,
+        mask: u64,
+        take: u64,
+    },
+    AdoptFreeRead {
+        after: After,
+        take: u64,
+    },
+    AdoptFreeCas {
+        after: After,
+        take: u64,
+        free: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -257,6 +340,9 @@ struct EpochProc {
     limbo: Vec<(u64, u64)>,
     /// Most recent global-epoch value observed (drives free eligibility).
     last_g: u64,
+    /// Consecutive advance attempts blocked by a stale pinned peer; reaching
+    /// [`TRANSFER_AFTER_BLOCKED`] triggers the quarantine transfer.
+    blocked_advances: u32,
 }
 
 impl EpochProc {
@@ -278,6 +364,14 @@ impl EpochProc {
 
     fn local_obj(&self, p: usize) -> ObjId {
         4 + 2 * self.capacity as usize + p
+    }
+
+    fn qmask_obj(&self) -> ObjId {
+        4 + 2 * self.capacity as usize + self.n
+    }
+
+    fn qstamp_obj(&self, idx: u64) -> ObjId {
+        5 + 2 * self.capacity as usize + self.n + idx as usize
     }
 
     /// Free-set bits of every limbo entry at least two advances old.
@@ -392,6 +486,23 @@ impl SimProcess for EpochProc {
             State::AdvCasG { g, .. } => BaseOp::Cas(self.global_obj(), g, g + 1),
             State::FreeReadMask { .. } => BaseOp::Read(OBJ_FREE),
             State::FreeCasMask { bits, mask, .. } => BaseOp::Cas(OBJ_FREE, mask, mask | bits),
+            State::XferWriteStamp { i, .. } => {
+                let (idx, stamp) = self.limbo[i];
+                BaseOp::Write(self.qstamp_obj(idx), stamp)
+            }
+            State::XferReadQmask { .. } => BaseOp::Read(self.qmask_obj()),
+            State::XferCasQmask { bits, mask, .. } => {
+                BaseOp::Cas(self.qmask_obj(), mask, mask | bits)
+            }
+            State::AdoptReadQmask { .. } => BaseOp::Read(self.qmask_obj()),
+            State::AdoptReadStamp { remaining, .. } => {
+                BaseOp::Read(self.qstamp_obj(u64::from(remaining.trailing_zeros())))
+            }
+            State::AdoptCasQmask { mask, take, .. } => {
+                BaseOp::Cas(self.qmask_obj(), mask, mask & !take)
+            }
+            State::AdoptFreeRead { .. } => BaseOp::Read(OBJ_FREE),
+            State::AdoptFreeCas { take, free, .. } => BaseOp::Cas(OBJ_FREE, free, free | take),
         }
     }
 
@@ -426,8 +537,14 @@ impl SimProcess for EpochProc {
                 if mask == 0 {
                     if !retried && !self.limbo.is_empty() {
                         // Arena exhausted while we hold limbo nodes: run the
-                        // advance/free sequence, then retry the allocation
-                        // once (the hardware impl's reclaim-pressure path).
+                        // advance/free sequence (which also adopts eligible
+                        // quarantined nodes after a successful advance),
+                        // then retry the allocation once (the hardware
+                        // impl's reclaim-pressure path).  A process with an
+                        // empty limbo fails fast instead — every
+                        // quarantined node is adoptable through a
+                        // dequeuer's advance, and keeping the exhausted
+                        // enqueue short keeps the DPOR space tractable.
                         return self.begin_advance(After::EnqRetryAlloc);
                     }
                     self.state = State::Idle;
@@ -550,6 +667,17 @@ impl SimProcess for EpochProc {
                 if local != 0 && local != g + 1 {
                     // A pinned process has not observed epoch g yet: the
                     // advance must wait, but already-eligible limbo can go.
+                    self.blocked_advances += 1;
+                    if self.blocked_advances >= TRANSFER_AFTER_BLOCKED && !self.limbo.is_empty() {
+                        // Blocked too often behind the same kind of stale
+                        // pin: hand the whole private limbo to the shared
+                        // quarantine so any process that later advances can
+                        // free it — the E15 cure for bags stranded with a
+                        // parked owner.
+                        self.blocked_advances = 0;
+                        self.state = State::XferWriteStamp { after, i: 0 };
+                        return None;
+                    }
                     return self.finish_advance(after);
                 }
                 if t + 1 == self.n {
@@ -561,6 +689,12 @@ impl SimProcess for EpochProc {
             State::AdvCasG { after, g } => {
                 if Self::expect_cas(result) {
                     self.last_g = g + 1;
+                    self.blocked_advances = 0;
+                    // A successful advance is exactly when quarantined bags
+                    // can have become eligible: try to adopt them before
+                    // freeing our own.
+                    self.state = State::AdoptReadQmask { after };
+                    return None;
                 }
                 // A failed CAS means someone advanced for us — equally good.
                 return self.finish_advance(after);
@@ -575,6 +709,99 @@ impl SimProcess for EpochProc {
                     return self.dispatch(after);
                 }
                 self.state = State::FreeReadMask { after, bits };
+            }
+            // --- quarantine transfer ---
+            State::XferWriteStamp { after, i } => {
+                if i + 1 < self.limbo.len() {
+                    self.state = State::XferWriteStamp { after, i: i + 1 };
+                } else {
+                    // Every stamp is written; publish the bits in one CAS.
+                    let bits = self
+                        .limbo
+                        .iter()
+                        .fold(0u64, |acc, &(idx, _)| acc | (1u64 << idx));
+                    self.state = State::XferReadQmask { after, bits };
+                }
+            }
+            State::XferReadQmask { after, bits } => {
+                let mask = Self::expect_value(result);
+                self.state = State::XferCasQmask { after, bits, mask };
+            }
+            State::XferCasQmask { after, bits, .. } => {
+                if Self::expect_cas(result) {
+                    // Ownership of the nodes moved to the quarantine; our
+                    // private limbo is empty until the next retire.
+                    self.limbo.clear();
+                    return self.dispatch(after);
+                }
+                // retry-bound: the quarantine-mask CAS fails only when
+                // another process adopted or transferred concurrently
+                // (system-wide progress), so the retry is lock-free.
+                self.state = State::XferReadQmask { after, bits };
+            }
+            // --- quarantine adoption ---
+            State::AdoptReadQmask { after } => {
+                let mask = Self::expect_value(result);
+                if mask == 0 {
+                    return self.finish_advance(after);
+                }
+                self.state = State::AdoptReadStamp {
+                    after,
+                    mask,
+                    remaining: mask,
+                    take: 0,
+                };
+            }
+            State::AdoptReadStamp {
+                after,
+                mask,
+                remaining,
+                take,
+            } => {
+                let stamp = Self::expect_value(result);
+                let idx = u64::from(remaining.trailing_zeros());
+                let take = if stamp + 2 <= self.last_g {
+                    take | (1u64 << idx)
+                } else {
+                    take
+                };
+                let remaining = remaining & (remaining - 1);
+                if remaining != 0 {
+                    self.state = State::AdoptReadStamp {
+                        after,
+                        mask,
+                        remaining,
+                        take,
+                    };
+                } else if take == 0 {
+                    return self.finish_advance(after);
+                } else {
+                    self.state = State::AdoptCasQmask { after, mask, take };
+                }
+            }
+            State::AdoptCasQmask { after, take, .. } => {
+                if Self::expect_cas(result) {
+                    self.state = State::AdoptFreeRead { after, take };
+                } else {
+                    // Lost the claim race: whoever changed the mask either
+                    // adopted these nodes or transferred new ones — both
+                    // make progress, so give up rather than loop (a single
+                    // attempt keeps the adoption path bounded).
+                    return self.finish_advance(after);
+                }
+            }
+            State::AdoptFreeRead { after, take } => {
+                let free = Self::expect_value(result);
+                self.state = State::AdoptFreeCas { after, take, free };
+            }
+            State::AdoptFreeCas { after, take, .. } => {
+                if Self::expect_cas(result) {
+                    return self.finish_advance(after);
+                }
+                // retry-bound: we own the claimed bits, so this free-set CAS
+                // must land; it fails only when an alloc/free by another
+                // process moved the mask (system-wide progress) — lock-free.
+                self.state = State::AdoptFreeRead { after, take };
             }
         }
         None
@@ -667,6 +894,91 @@ mod tests {
         assert!(sim.history().is_well_formed());
         assert_eq!(sim.history().len(), 12);
         assert!(check_queue_history(sim.history()).is_linearizable());
+    }
+
+    /// Step `pid` under footprint auditing until its current call completes
+    /// (the audited twin of `run_process_to_completion`).
+    fn complete_audited(
+        sim: &mut Simulation,
+        algo: &EpochSim,
+        pid: ProcessId,
+        auditor: &mut crate::audit::FootprintAuditor,
+    ) -> bool {
+        use crate::executor::StepOutcome;
+        loop {
+            match sim.step_audited(algo, pid, auditor) {
+                StepOutcome::Idle => return false,
+                StepOutcome::CompletedImmediately => return true,
+                StepOutcome::Stepped {
+                    completed: true, ..
+                } => return true,
+                StepOutcome::Stepped {
+                    completed: false, ..
+                } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_advances_transfer_limbo_to_the_quarantine_and_peers_adopt_it() {
+        let algo = EpochSim::new(2, 4);
+        let mut sim = Simulation::new(&algo);
+        // Every step runs under the footprint auditor, so this test also
+        // certifies that the quarantine transfer/adoption steps declare
+        // exactly the memory they touch (the property DPOR's reduction
+        // stands on).
+        let mut auditor = crate::audit::FootprintAuditor::new();
+        // Seed one element so the parked dequeuer has something to chase.
+        sim.enqueue(0, MethodCall::Enqueue(1));
+        assert!(complete_audited(&mut sim, &algo, 0, &mut auditor));
+        // Process 1 starts a dequeue and parks right after its pin: three
+        // steps cover read-g, publish-local, validate.
+        sim.enqueue(1, MethodCall::Dequeue);
+        for _ in 0..3 {
+            let _ = sim.step_audited(&algo, 1, &mut auditor);
+        }
+        assert_eq!(
+            sim.registers()[algo.local_epoch_obj(1)],
+            1,
+            "process 1 must be parked pinned at epoch 0"
+        );
+        // Process 0 churns against the parked pin.  Its first advance
+        // succeeds (the pin is still current), the later ones are blocked
+        // by the now-stale pin; the second consecutive blocked attempt
+        // transfers process 0's limbo into the shared quarantine.
+        for i in 0..3u32 {
+            sim.enqueue(0, MethodCall::Enqueue(i + 2));
+            assert!(complete_audited(&mut sim, &algo, 0, &mut auditor));
+            sim.enqueue(0, MethodCall::Dequeue);
+            assert!(complete_audited(&mut sim, &algo, 0, &mut auditor));
+        }
+        assert_ne!(
+            sim.registers()[algo.quarantine_mask_obj()],
+            0,
+            "advances blocked by a stale pin must quarantine the blocked limbo"
+        );
+        // The parked dequeuer wakes up and finishes, unblocking advances;
+        // process 0's subsequent successful advances adopt the quarantined
+        // nodes back into the free set.
+        assert!(complete_audited(&mut sim, &algo, 1, &mut auditor));
+        for i in 0..4u32 {
+            sim.enqueue(0, MethodCall::Enqueue(10 + i));
+            assert!(complete_audited(&mut sim, &algo, 0, &mut auditor));
+            sim.enqueue(0, MethodCall::Dequeue);
+            assert!(complete_audited(&mut sim, &algo, 0, &mut auditor));
+        }
+        assert_eq!(
+            sim.registers()[algo.quarantine_mask_obj()],
+            0,
+            "eligible quarantined nodes must be adopted after the pin clears"
+        );
+        assert!(sim.history().is_well_formed());
+        assert!(check_queue_history(sim.history()).is_linearizable());
+        assert!(
+            auditor.sound(),
+            "quarantine steps under-reported their footprint: {:?}",
+            auditor.under_reports
+        );
     }
 
     #[test]

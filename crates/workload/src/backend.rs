@@ -16,6 +16,8 @@
 //! per `aba-reclaim` scheme (unprotected, tagged, hazard-protected,
 //! epoch-reclaimed and LL/SC-worded), 30 backends total.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use aba_core::{AnnounceLlSc, CasLlSc, MoirLlSc};
 use aba_lockfree::{
     elim_stack_builders, map_builders, queue_builders, set_builders, stack_builders, Map,
@@ -41,6 +43,18 @@ pub trait Workload: Send + Sync {
     /// without deferred reclamation (the engine's `peak_unreclaimed` gauge
     /// samples this concurrently with the workers).
     fn unreclaimed(&self) -> u64 {
+        0
+    }
+
+    /// Operations that ended without their intended effect because the
+    /// backend's allocation fast path failed (arena exhausted, or denied by
+    /// a deferred scheme's limbo-bound admission).  A starved cell completes
+    /// these "ops" at allocation-failure speed, so the engine subtracts them
+    /// from the throughput numerator — E9's "starvation inflates ops/s"
+    /// footgun.  Counted per *operation*, never per internal attempt: the
+    /// figure must stay within the cell's op count for the subtraction to
+    /// be meaningful.  0 for backends that never allocate.
+    fn failed_ops(&self) -> u64 {
         0
     }
 }
@@ -150,6 +164,12 @@ impl WorkloadOps for LlScOps<'_> {
 pub struct StackWorkload {
     stack: Box<dyn Stack>,
     threads: usize,
+    /// Operations (not attempts) that ended without their intended effect.
+    /// The adapter counts these itself rather than forwarding the stack's
+    /// `alloc_failures`: `write`'s recovery retry can fail the allocation
+    /// fast path twice inside one operation, and a failed-ops figure above
+    /// the op count would zero out the productive throughput.
+    failed: AtomicU64,
 }
 
 impl std::fmt::Debug for StackWorkload {
@@ -164,7 +184,11 @@ impl std::fmt::Debug for StackWorkload {
 impl StackWorkload {
     /// Wrap `stack` for use by `threads` threads.
     pub fn new(stack: Box<dyn Stack>, threads: usize) -> Self {
-        StackWorkload { stack, threads }
+        StackWorkload {
+            stack,
+            threads,
+            failed: AtomicU64::new(0),
+        }
     }
 }
 
@@ -177,16 +201,24 @@ impl Workload for StackWorkload {
         assert!(tid < self.threads, "tid {tid} out of range");
         Box::new(StackOps {
             handle: self.stack.handle(tid),
+            failed: &self.failed,
         })
     }
 
     fn unreclaimed(&self) -> u64 {
         self.stack.unreclaimed()
     }
+
+    fn failed_ops(&self) -> u64 {
+        self.failed.load(Ordering::SeqCst)
+    }
 }
 
 struct StackOps<'a> {
     handle: Box<dyn StackHandle + 'a>,
+    /// One tick per operation (never per attempt) that ended without its
+    /// intended effect, so a cell's failed ops can never exceed its ops.
+    failed: &'a AtomicU64,
 }
 
 impl WorkloadOps for StackOps<'_> {
@@ -199,12 +231,16 @@ impl WorkloadOps for StackOps<'_> {
             // Arena exhausted: make room (keeps write-heavy scenarios from
             // degenerating into no-ops once the stack fills).
             std::hint::black_box(self.handle.pop());
-            std::hint::black_box(self.handle.push(value));
+            if !self.handle.push(value) {
+                self.failed.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
     fn rmw(&mut self, value: u32) {
-        let _ = self.handle.push(value);
+        if !self.handle.push(value) {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+        }
         std::hint::black_box(self.handle.pop());
     }
 }
@@ -217,6 +253,10 @@ impl WorkloadOps for StackOps<'_> {
 pub struct QueueWorkload {
     queue: Box<dyn Queue>,
     threads: usize,
+    /// Operations (not attempts) that ended without their intended effect —
+    /// see [`StackWorkload`]'s field of the same name for why the adapter
+    /// counts these instead of forwarding the queue's `alloc_failures`.
+    failed: AtomicU64,
 }
 
 impl std::fmt::Debug for QueueWorkload {
@@ -231,7 +271,11 @@ impl std::fmt::Debug for QueueWorkload {
 impl QueueWorkload {
     /// Wrap `queue` for use by `threads` threads.
     pub fn new(queue: Box<dyn Queue>, threads: usize) -> Self {
-        QueueWorkload { queue, threads }
+        QueueWorkload {
+            queue,
+            threads,
+            failed: AtomicU64::new(0),
+        }
     }
 }
 
@@ -244,16 +288,24 @@ impl Workload for QueueWorkload {
         assert!(tid < self.threads, "tid {tid} out of range");
         Box::new(QueueOps {
             handle: self.queue.handle(tid),
+            failed: &self.failed,
         })
     }
 
     fn unreclaimed(&self) -> u64 {
         self.queue.unreclaimed()
     }
+
+    fn failed_ops(&self) -> u64 {
+        self.failed.load(Ordering::SeqCst)
+    }
 }
 
 struct QueueOps<'a> {
     handle: Box<dyn QueueHandle + 'a>,
+    /// One tick per operation (never per attempt) that ended without its
+    /// intended effect, so a cell's failed ops can never exceed its ops.
+    failed: &'a AtomicU64,
 }
 
 impl WorkloadOps for QueueOps<'_> {
@@ -266,14 +318,19 @@ impl WorkloadOps for QueueOps<'_> {
             // Arena exhausted: make room (keeps producer-heavy scenarios
             // from degenerating into no-ops once the queue fills).
             std::hint::black_box(self.handle.dequeue());
-            std::hint::black_box(self.handle.enqueue(value));
+            if !self.handle.enqueue(value) {
+                self.failed.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
     fn rmw(&mut self, value: u32) {
         // The pipeline hand-off: drain one value, transform it, re-publish.
         let drained = self.handle.dequeue().unwrap_or(0);
-        std::hint::black_box(self.handle.enqueue(drained.wrapping_add(value)));
+        if !self.handle.enqueue(drained.wrapping_add(value)) {
+            // The drained value is dropped on the floor: a broken hand-off.
+            self.failed.fetch_add(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -324,6 +381,10 @@ impl Workload for SetWorkload {
 
     fn unreclaimed(&self) -> u64 {
         self.set.unreclaimed()
+    }
+
+    fn failed_ops(&self) -> u64 {
+        self.set.alloc_failures()
     }
 }
 
@@ -397,6 +458,10 @@ impl Workload for MapWorkload {
 
     fn unreclaimed(&self) -> u64 {
         self.map.unreclaimed()
+    }
+
+    fn failed_ops(&self) -> u64 {
+        self.map.alloc_failures()
     }
 }
 
@@ -472,8 +537,16 @@ impl BackendSpec {
 /// Node-arena capacity for the stack and queue backends, scaled with the
 /// thread count so that churn scenarios always have headroom but recycling
 /// stays hot.
-fn stack_capacity(threads: usize) -> usize {
+/// Node capacity the roster provisions each structure backend with at
+/// `threads` workers.  Public so experiment binaries can gate measured
+/// footprints against the arena they actually ran on (e.g. E9/E15's
+/// limbo-bound check `peak_unreclaimed < capacity`).
+pub fn roster_node_capacity(threads: usize) -> usize {
     64 + 16 * threads
+}
+
+fn stack_capacity(threads: usize) -> usize {
+    roster_node_capacity(threads)
 }
 
 /// The standard E7/E8 backend roster: every LL/SC implementation (Moir at
@@ -574,7 +647,13 @@ mod tests {
             );
             let w = spec.build(1);
             let mut ops = w.worker(0);
-            ops.write(5);
+            // Grow the map backends' arena past its tiny initial segment
+            // first: the hazard scheme's eager small-arena flush (correctly)
+            // frees a lone unprotected retiree while the live arena is only
+            // a handful of nodes, which would hide it from the gauge.
+            for v in 0..32 {
+                ops.write(v);
+            }
             ops.read(); // pop/dequeue: retires a node under deferred schemes
             ops.rmw(5); // set remove: the retiring op of the set adapter
             if wants_limbo {

@@ -96,8 +96,14 @@ pub struct CellResult {
     /// Operations per timed repetition — `threads × ops_per_thread`, a pure
     /// function of the configuration (the determinism tests assert this).
     pub ops_per_rep: u64,
-    /// Median operations per second across the repetitions.
+    /// Median *productive* operations per second across the repetitions:
+    /// allocation-failure fast paths are subtracted from the numerator, so a
+    /// starved cell can never report its failure loop as a speedup (E9's
+    /// documented footgun).
     pub ops_per_sec: f64,
+    /// Worst (maximum) per-repetition count of operations that failed on the
+    /// backend's allocation fast path.  0 for backends that never allocate.
+    pub failed_ops: u64,
     /// 50th-percentile sampled operation latency, nanoseconds.
     pub p50_ns: u64,
     /// 99th-percentile sampled operation latency, nanoseconds.
@@ -136,6 +142,10 @@ struct WorkerStats {
 #[derive(Debug)]
 struct RoundStats {
     ops: u64,
+    /// Allocation-failure fast paths among `ops` (read off the workload's
+    /// cumulative counter after the join — each round gets a fresh backend
+    /// instance, so the cumulative count is this round's count).
+    failed_ops: u64,
     elapsed: Duration,
     latencies_ns: Vec<u64>,
     peak_unreclaimed: u64,
@@ -234,6 +244,7 @@ fn run_round(
         .expect("threads ≥ 1");
     let mut merged = RoundStats {
         ops: 0,
+        failed_ops: workload.failed_ops(),
         elapsed: last_finish.duration_since(first_start),
         latencies_ns: Vec::new(),
         peak_unreclaimed: 0,
@@ -290,6 +301,7 @@ pub fn run_cell(
     let mut pooled_latencies = Vec::new();
     let mut ops_per_rep = 0u64;
     let mut peak_unreclaimed = 0u64;
+    let mut failed_ops = 0u64;
     for _ in 0..config.repetitions {
         // A fresh instance per repetition: repetitions must not observe each
         // other's residual state (a half-full stack, a drifted tag).
@@ -307,9 +319,14 @@ pub fn run_cell(
             "op accounting must be deterministic"
         );
         ops_per_rep = round.ops;
-        throughputs.push(round.ops as f64 / round.elapsed.as_secs_f64().max(1e-9));
+        // Throughput counts *productive* ops only: an allocation-failure
+        // fast path completes in a handful of nanoseconds, so counting it
+        // would let a starved cell overtake a healthy one.
+        let productive = round.ops.saturating_sub(round.failed_ops);
+        throughputs.push(productive as f64 / round.elapsed.as_secs_f64().max(1e-9));
         pooled_latencies.extend(round.latencies_ns);
         peak_unreclaimed = peak_unreclaimed.max(round.peak_unreclaimed);
+        failed_ops = failed_ops.max(round.failed_ops);
     }
     pooled_latencies.sort_unstable();
     CellResult {
@@ -318,6 +335,7 @@ pub fn run_cell(
         threads,
         ops_per_rep,
         ops_per_sec: median(throughputs),
+        failed_ops,
         p50_ns: percentile(&pooled_latencies, 50),
         p99_ns: percentile(&pooled_latencies, 99),
         peak_unreclaimed,
@@ -404,6 +422,28 @@ mod tests {
             .expect("tagged backend in roster");
         let cell = run_cell(churn, immediate, 2, &tiny_config());
         assert_eq!(cell.peak_unreclaimed, 0, "tagging frees immediately");
+    }
+
+    #[test]
+    fn failed_ops_stay_within_the_op_budget_and_zero_for_immediate_free() {
+        let backends = standard_backends();
+        let churn = standard_scenarios()[0];
+        for name in ["stack/epoch", "stack/tagged"] {
+            let spec = backends
+                .iter()
+                .find(|b| b.name() == name)
+                .expect("backend in roster");
+            let cell = run_cell(churn, spec, 2, &tiny_config());
+            assert!(
+                cell.failed_ops <= cell.ops_per_rep,
+                "{name}: failed {} of {}",
+                cell.failed_ops,
+                cell.ops_per_rep
+            );
+            // Productive throughput can never exceed what counting every op
+            // would have reported; a cell whose every op failed reports 0.
+            assert!(cell.ops_per_sec >= 0.0);
+        }
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn render_tables(result: &MatrixResult) -> String {
         header.push(format!("p50@{max_threads}thr"));
         header.push(format!("p99@{max_threads}thr"));
         header.push(format!("peak-unreclaimed@{max_threads}thr"));
+        header.push(format!("failed@{max_threads}thr"));
 
         let mut rows = Vec::new();
         for backend in backends {
@@ -106,6 +107,7 @@ pub fn render_tables(result: &MatrixResult) -> String {
             row.push(format!("{}ns", top.p50_ns));
             row.push(format!("{}ns", top.p99_ns));
             row.push(top.peak_unreclaimed.to_string());
+            row.push(top.failed_ops.to_string());
             rows.push(row);
         }
 
@@ -160,10 +162,10 @@ fn config_json(config: &EngineConfig) -> String {
 }
 
 fn cell_json(cell: &CellResult) -> String {
-    // `peak_unreclaimed` is additive on the v1 schema: consumers of older
-    // documents see the pre-existing keys unchanged.
+    // `peak_unreclaimed` and `failed_ops` are additive on the v1 schema:
+    // consumers of older documents see the pre-existing keys unchanged.
     format!(
-        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\"ops_per_rep\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{},\"peak_unreclaimed\":{},\"repetitions\":{}}}",
+        "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\"ops_per_rep\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{},\"peak_unreclaimed\":{},\"failed_ops\":{},\"repetitions\":{}}}",
         json_escape(&cell.scenario),
         json_escape(&cell.backend),
         cell.threads,
@@ -172,6 +174,7 @@ fn cell_json(cell: &CellResult) -> String {
         cell.p50_ns,
         cell.p99_ns,
         cell.peak_unreclaimed,
+        cell.failed_ops,
         cell.repetitions,
     )
 }
@@ -219,6 +222,7 @@ mod tests {
                         threads,
                         ops_per_rep: (threads * 10) as u64,
                         ops_per_sec: 1234.5,
+                        failed_ops: 2,
                         p50_ns: 40,
                         p99_ns: 90,
                         peak_unreclaimed: 3,
@@ -243,6 +247,14 @@ mod tests {
     fn tables_include_the_peak_unreclaimed_column() {
         let text = render_tables(&sample_result());
         assert!(text.contains("peak-unreclaimed@2thr"));
+    }
+
+    #[test]
+    fn tables_and_json_include_the_failed_ops_field() {
+        let text = render_tables(&sample_result());
+        assert!(text.contains("failed@2thr"));
+        let json = to_json(&sample_result());
+        assert_eq!(json.matches("\"failed_ops\":2").count(), 8);
     }
 
     #[test]

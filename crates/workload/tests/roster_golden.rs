@@ -211,6 +211,7 @@ fn bench_json_top_level_and_cell_key_sets_are_pinned() {
             "p50_ns",
             "p99_ns",
             "peak_unreclaimed",
+            "failed_ops",
             "repetitions",
         ],
         "cell keys changed — BENCH_throughput.json consumers track these \
@@ -265,6 +266,7 @@ fn bench_map_json_schema_and_key_set_are_pinned() {
             "p50_ns",
             "p99_ns",
             "peak_unreclaimed",
+            "failed_ops",
             "repetitions",
         ],
         "BENCH_map.json cell keys diverged from the matrix layout"
